@@ -1,0 +1,59 @@
+// Package cataero is a computational aerothermodynamics (CAT) toolkit: a Go
+// reproduction of the system surveyed in Deiwert & Green, "Computational
+// Aerothermodynamics" (NASA TM-89450 / Supercomputing '89). It couples the
+// paper's four-solver hierarchy — viscous shock layer (VSL), Euler +
+// boundary layer (E+BL), parabolized Navier-Stokes (PNS) and Navier-Stokes
+// (NS) — to a shared real-gas model stack: Gibbs equilibrium and finite-rate
+// air/Titan chemistry, two-temperature thermodynamic nonequilibrium, and
+// tangent-slab spectral radiation.
+//
+// The public surface re-exports the core problem/environment types and
+// provides one runner per figure of the paper's evaluation (Figs. 1-9); the
+// internal packages carry the substrates (thermo, chem, transport, gas,
+// radiation, atmosphere, geometry, grid, fvm, shock, shocktube, blayer, vsl,
+// pns, euler, ns, freeflight).
+package cataero
+
+import (
+	"cataero/internal/core"
+)
+
+// Problem is a complete aerothermal case specification. See core.Problem.
+type Problem = core.Problem
+
+// Environment is the aerothermal-environment report of a solve.
+type Environment = core.Environment
+
+// SurfacePoint is one station of a surface heating/pressure distribution.
+type SurfacePoint = core.SurfacePoint
+
+// SolverClass selects one of the paper's four equation sets.
+type SolverClass = core.SolverClass
+
+// Solver classes.
+const (
+	VSL = core.VSL
+	EBL = core.EBL
+	PNS = core.PNS
+	NS  = core.NS
+)
+
+// GasChemistry selects the real-gas treatment of a Problem.
+type GasChemistry = core.GasChemistry
+
+// Chemistry models.
+const (
+	IdealGas         = core.IdealGas
+	EquilibriumAir   = core.EquilibriumAir
+	EquilibriumTitan = core.EquilibriumTitan
+)
+
+// Solve dispatches a problem to its solver class and returns the
+// aerothermal environment.
+func Solve(p Problem) (*Environment, error) { return core.Solve(p) }
+
+// ShockShape computes an Euler bow-shock locus for a problem (Fig. 4
+// machinery): ideal or equilibrium air.
+func ShockShape(p Problem) (xs, ys []float64, standoff float64, err error) {
+	return core.ShockShape(p)
+}

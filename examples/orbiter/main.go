@@ -1,0 +1,49 @@
+// Orbiter aerothermodynamics: the paper's Fig. 4/5/6 scenarios. Computes
+// the pitch-plane bow-shock shape with reacting vs ideal gas, prints the
+// discretized geometry, and the windward-centerline heating comparison with
+// synthetic STS-3-like flight data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cataero"
+)
+
+func main() {
+	fmt.Println("Shuttle Orbiter: bow shock shape (Fig. 4), V=6.7 km/s, 65.5 km, alpha=30 deg")
+	shock, err := cataero.Fig4OrbiterShockShape(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stagnation standoff: ideal gas %.2f m, equilibrium air %.2f m (ratio %.2f)\n",
+		shock.StandoffIdeal, shock.StandoffReacting,
+		shock.StandoffReacting/shock.StandoffIdeal)
+	fmt.Println("\n  body x [m]   shock x (ideal)   shock x (reacting)")
+	n := len(shock.IdealX)
+	for i := 0; i < n; i += 3 {
+		fmt.Printf("  %9.2f   %15.2f   %18.2f\n", shock.BodyX[i], shock.IdealX[i], shock.ReactingX[i])
+	}
+
+	fmt.Println("\nOrbiter geometry sections (Fig. 5):")
+	secs := cataero.Fig5OrbiterGeometry(12)
+	fmt.Println("    x [m]   half-width [m]   windward depth [m]")
+	for _, s := range secs {
+		fmt.Printf("  %7.2f   %14.2f   %18.2f\n", s.X, s.HalfWidth, s.WindwardZ)
+	}
+
+	fmt.Println("\nWindward centerline heating (Fig. 6), STS-3 point:")
+	heat, err := cataero.Fig6WindwardHeating()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("     x/L   q_eq [W/cm^2]   q_ideal(g=1.2)")
+	for i := 0; i < len(heat.XOverL); i += 3 {
+		fmt.Printf("  %6.3f   %13.2f   %14.2f\n", heat.XOverL[i], heat.QEquilibrium[i], heat.QIdeal[i])
+	}
+	fmt.Printf("\nsynthetic flight data (finite catalysis, q_flight/q_fc = %.2f):\n", heat.CatalysisFraction)
+	for i := range heat.FlightX {
+		fmt.Printf("  x/L=%.3f  q=%.2f W/cm^2\n", heat.FlightX[i], heat.FlightQ[i])
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: compute the aerothermal environment of a Shuttle-like entry
+// point with two members of the solver hierarchy and compare them — the
+// sixty-second tour of the cataero public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cataero"
+)
+
+func main() {
+	// Shuttle Orbiter entry point: 6.74 km/s at ~71 km altitude.
+	base := cataero.Problem{
+		Chemistry:  cataero.EquilibriumAir,
+		PInf:       4.8,  // Pa
+		TInf:       217,  // K
+		VInf:       6740, // m/s
+		NoseRadius: 0.6,  // m
+		TWall:      1200, // K
+		NStations:  16,
+	}
+
+	fmt.Println("cataero quickstart: Shuttle entry point, equilibrium air")
+	fmt.Println()
+
+	for _, class := range []cataero.SolverClass{cataero.VSL, cataero.EBL, cataero.PNS} {
+		p := base
+		p.Class = class
+		if class == cataero.EBL {
+			p.GammaW = 1 // fully catalytic wall
+		}
+		env, err := cataero.Solve(p)
+		if err != nil {
+			log.Fatalf("%s: %v", class, err)
+		}
+		fmt.Printf("%-28s q_conv(stag) = %7.1f W/cm^2", class.String()+":", env.QConvStag/1e4)
+		if env.Standoff > 0 {
+			fmt.Printf("   standoff = %.1f mm", env.Standoff*1000)
+		}
+		fmt.Println()
+	}
+
+	// Surface distribution from the PNS class.
+	p := base
+	p.Class = cataero.PNS
+	env, err := cataero.Solve(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPNS windward heating distribution:")
+	fmt.Println("    s [m]    q [W/cm^2]   p_e [Pa]")
+	for i := 0; i < len(env.Surface); i += 3 {
+		sp := env.Surface[i]
+		fmt.Printf("  %7.3f   %9.2f   %8.1f\n", sp.S, sp.Q/1e4, sp.P)
+	}
+}

@@ -1,0 +1,38 @@
+// Shock-tube relaxation: the paper's Fig. 7/8 scenario. A 10 km/s normal
+// shock into 0.1 torr air with two-temperature dissociating and ionizing
+// relaxation, followed by the nonequilibrium emission spectrum through the
+// radiating slab.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cataero"
+)
+
+func main() {
+	fmt.Println("Shock tube: V=10 km/s into 0.1 torr air (two-temperature model)")
+	fmt.Println()
+
+	r, err := cataero.Fig7ShockRelaxation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frozen post-shock T = %.0f K; relaxed equilibrium T = %.0f K\n\n", r.TFrozen, r.TEq)
+	fmt.Println("   x [cm]      T [K]     Tv [K]     x(N2)      x(N)      x(e-)")
+	for i := 0; i < len(r.X); i += 6 {
+		fmt.Printf("  %8.4f   %8.0f   %8.0f   %7.4f   %7.4f   %9.2e\n",
+			r.X[i]*100, r.T[i], r.Tv[i], r.XN2[i], r.XN[i], r.XE[i])
+	}
+
+	fmt.Println("\nNonequilibrium emission spectrum (Fig. 8), wall-directed intensity:")
+	sp, err := cataero.Fig8NoneqSpectra()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  lambda [nm]   computed [W/m^2/sr/m]   'measured'")
+	for i := 0; i < len(sp.LambdaNm); i += 24 {
+		fmt.Printf("  %10.1f   %20.4g   %10.4g\n", sp.LambdaNm[i], sp.Computed[i], sp.Measured[i])
+	}
+}

@@ -1,0 +1,24 @@
+package cataero
+
+import (
+	"cataero/internal/gas"
+	"cataero/internal/ns"
+	"cataero/internal/transport"
+)
+
+// nsEquilibriumTransport builds high-temperature viscosity/conductivity
+// closures for the Fig. 9 NS solve.
+func nsEquilibriumTransport(eqm *gas.Equilibrium, tr *transport.Mixture) (mu, k func(T float64) float64, err error) {
+	return ns.EquilibriumTransport(eqm, tr, 0.3)
+}
+
+// nsSolve runs the hemisphere NS case of Fig. 9.
+func nsSolve(model gas.Model, mu, k func(T float64) float64, ni, nj, steps int, vInf, pInf, tInf float64) (*ns.Result, error) {
+	return ns.Solve(ns.Case{
+		Gas: model, Rn: 0.3,
+		NI: ni, NJ: nj,
+		VInf: vInf, PInf: pInf, TInf: tInf,
+		TWall: 1500, MaxSteps: steps,
+		Mu: mu, K: k,
+	})
+}

@@ -1,0 +1,132 @@
+package chem
+
+import "cataero/internal/thermo"
+
+// Park-style 11-species air mechanism (representative of Park 1985/1990).
+// Rates are stored in SI molar units: bimolecular A in m^3/(mol s) after the
+// 1e-6 conversion from the customary cm^3/(mol s). Dissociation reactions
+// use Park's geometric-mean controlling temperature sqrt(T*Tv); electron
+// impact ionization uses the electron (vibrational) temperature.
+
+// airEff builds a third-body efficiency table: base 1.0 for molecules, with
+// the atom and electron multipliers applied to the matching species.
+func airEff(atomFac, eFac float64) []float64 {
+	eff := make([]float64, thermo.NAir11)
+	for i := range eff {
+		eff[i] = 1
+	}
+	eff[thermo.AirN] = atomFac
+	eff[thermo.AirO] = atomFac
+	eff[thermo.AirNp] = atomFac
+	eff[thermo.AirOp] = atomFac
+	eff[thermo.AirE] = eFac
+	return eff
+}
+
+// AirMechanism returns the two-temperature ionizing-air mechanism for the
+// 11-species air mixture (indices must match thermo.AirSpecies11).
+func AirMechanism(m *thermo.Mixture) (*Mechanism, error) {
+	const c = 1e-6 // cm^3/(mol s) -> m^3/(mol s)
+	r := []*Reaction{
+		{
+			Name: "N2+M=2N+M",
+			LHS:  []Stoich{{thermo.AirN2, 1}},
+			RHS:  []Stoich{{thermo.AirN, 2}},
+			A:    7.0e21 * c, N: -1.6, Theta: 113200, TMode: TaGeom,
+			ThirdBody: true, Eff: airEff(4.29, 1700),
+		},
+		{
+			Name: "O2+M=2O+M",
+			LHS:  []Stoich{{thermo.AirO2, 1}},
+			RHS:  []Stoich{{thermo.AirO, 2}},
+			A:    2.0e21 * c, N: -1.5, Theta: 59500, TMode: TaGeom,
+			ThirdBody: true, Eff: airEff(5.0, 1),
+		},
+		{
+			Name: "NO+M=N+O+M",
+			LHS:  []Stoich{{thermo.AirNO, 1}},
+			RHS:  []Stoich{{thermo.AirN, 1}, {thermo.AirO, 1}},
+			A:    5.0e15 * c, N: 0, Theta: 75500, TMode: TaGeom,
+			ThirdBody: true, Eff: airEff(22.0, 1),
+		},
+		{
+			Name: "N2+O=NO+N",
+			LHS:  []Stoich{{thermo.AirN2, 1}, {thermo.AirO, 1}},
+			RHS:  []Stoich{{thermo.AirNO, 1}, {thermo.AirN, 1}},
+			A:    6.4e17 * c, N: -1.0, Theta: 38400,
+		},
+		{
+			Name: "NO+O=O2+N",
+			LHS:  []Stoich{{thermo.AirNO, 1}, {thermo.AirO, 1}},
+			RHS:  []Stoich{{thermo.AirO2, 1}, {thermo.AirN, 1}},
+			A:    8.4e12 * c, N: 0, Theta: 19450,
+		},
+		{
+			Name: "N+O=NO++e-",
+			LHS:  []Stoich{{thermo.AirN, 1}, {thermo.AirO, 1}},
+			RHS:  []Stoich{{thermo.AirNOp, 1}, {thermo.AirE, 1}},
+			A:    8.8e8 * c, N: 1.0, Theta: 31900,
+		},
+		{
+			Name: "O+O=O2++e-",
+			LHS:  []Stoich{{thermo.AirO, 2}},
+			RHS:  []Stoich{{thermo.AirO2p, 1}, {thermo.AirE, 1}},
+			A:    7.1e2 * c, N: 2.7, Theta: 80600,
+		},
+		{
+			Name: "N+N=N2++e-",
+			LHS:  []Stoich{{thermo.AirN, 2}},
+			RHS:  []Stoich{{thermo.AirN2p, 1}, {thermo.AirE, 1}},
+			A:    4.4e7 * c, N: 1.5, Theta: 67500,
+		},
+		{
+			Name: "N+e-=N++2e-",
+			LHS:  []Stoich{{thermo.AirN, 1}, {thermo.AirE, 1}},
+			RHS:  []Stoich{{thermo.AirNp, 1}, {thermo.AirE, 2}},
+			A:    2.5e34 * c, N: -3.82, Theta: 168600, TMode: TElectron,
+		},
+		{
+			Name: "O+e-=O++2e-",
+			LHS:  []Stoich{{thermo.AirO, 1}, {thermo.AirE, 1}},
+			RHS:  []Stoich{{thermo.AirOp, 1}, {thermo.AirE, 2}},
+			A:    3.9e33 * c, N: -3.78, Theta: 158500, TMode: TElectron,
+		},
+		{
+			Name: "O++N2=N2++O",
+			LHS:  []Stoich{{thermo.AirOp, 1}, {thermo.AirN2, 1}},
+			RHS:  []Stoich{{thermo.AirN2p, 1}, {thermo.AirO, 1}},
+			A:    9.1e11 * c, N: 0.36, Theta: 22800,
+		},
+		{
+			Name: "NO++N=N2++O",
+			LHS:  []Stoich{{thermo.AirNOp, 1}, {thermo.AirN, 1}},
+			RHS:  []Stoich{{thermo.AirN2p, 1}, {thermo.AirO, 1}},
+			A:    7.2e13 * c, N: 0, Theta: 35500,
+		},
+		{
+			Name: "NO++O2=O2++NO",
+			LHS:  []Stoich{{thermo.AirNOp, 1}, {thermo.AirO2, 1}},
+			RHS:  []Stoich{{thermo.AirO2p, 1}, {thermo.AirNO, 1}},
+			A:    2.4e13 * c, N: 0.41, Theta: 32600,
+		},
+		{
+			Name: "NO++N=O++N2",
+			LHS:  []Stoich{{thermo.AirNOp, 1}, {thermo.AirN, 1}},
+			RHS:  []Stoich{{thermo.AirOp, 1}, {thermo.AirN2, 1}},
+			A:    3.4e13 * c, N: -1.08, Theta: 12800,
+		},
+		{
+			Name: "N2++N=N++N2",
+			LHS:  []Stoich{{thermo.AirN2p, 1}, {thermo.AirN, 1}},
+			RHS:  []Stoich{{thermo.AirNp, 1}, {thermo.AirN2, 1}},
+			A:    1.0e12 * c, N: 0.5, Theta: 12200,
+		},
+		{
+			Name: "O2++O=O++O2",
+			LHS:  []Stoich{{thermo.AirO2p, 1}, {thermo.AirO, 1}},
+			RHS:  []Stoich{{thermo.AirOp, 1}, {thermo.AirO2, 1}},
+			A:    4.0e12 * c, N: -0.09, Theta: 18000,
+		},
+	}
+	return NewMechanism(m, r)
+}

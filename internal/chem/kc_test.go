@@ -1,0 +1,121 @@
+package chem
+
+import (
+	"math"
+	"testing"
+
+	"cataero/internal/thermo"
+)
+
+// Dissociation equilibrium constants must grow steeply with temperature and
+// reproduce the dissociation energy in their van't Hoff slope.
+func TestKcVantHoffSlope(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	mech, err := AirMechanism(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n2diss *Reaction
+	for _, r := range mech.Reactions {
+		if r.Name == "N2+M=2N+M" {
+			n2diss = r
+			break
+		}
+	}
+	if n2diss == nil {
+		t.Fatal("N2 dissociation missing")
+	}
+	// d(ln Kc)/d(1/T) = -D/k (per particle). D(N2) = 9.76 eV.
+	T1, T2 := 6000.0, 6500.0
+	l1 := mech.LnKc(n2diss, T1)
+	l2 := mech.LnKc(n2diss, T2)
+	slope := (l2 - l1) / (1/T2 - 1/T1)
+	dEV := -slope * thermo.KB / thermo.ECharge
+	if math.Abs(dEV-9.76) > 0.6 {
+		t.Errorf("van't Hoff D(N2) = %g eV want ~9.76", dEV)
+	}
+	// Kc grows with T for dissociation.
+	if l2 <= l1 {
+		t.Error("dissociation Kc should grow with T")
+	}
+}
+
+func TestSahaIonizationConstant(t *testing.T) {
+	// The N+N=N2++e- and N+e-=N++2e- equilibria embed ionization energies;
+	// spot-check the electron-impact reaction's van't Hoff slope ~14.5 eV.
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	mech, err := AirMechanism(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ion *Reaction
+	for _, r := range mech.Reactions {
+		if r.Name == "N+e-=N++2e-" {
+			ion = r
+			break
+		}
+	}
+	T1, T2 := 12000.0, 13000.0
+	slope := (mech.LnKc(ion, T2) - mech.LnKc(ion, T1)) / (1/T2 - 1/T1)
+	eV := -slope * thermo.KB / thermo.ECharge
+	// The van't Hoff slope carries the reaction enthalpy at T: the 14.53 eV
+	// ionization energy plus ~3/2 kT (+Qel terms) for the extra free
+	// electron, ~1.6 eV at 12.5 kK.
+	want := 14.53 + 1.5*thermo.KB*12500/thermo.ECharge
+	if math.Abs(eV-want) > 1.0 {
+		t.Errorf("Saha slope %g eV want ~%.1f", eV, want)
+	}
+}
+
+// Exchange reactions have modest Kc temperature dependence compared with
+// dissociation (small net bond-energy change).
+func TestExchangeVsDissociationSlope(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	mech, err := AirMechanism(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slopeOf := func(name string) float64 {
+		for _, r := range mech.Reactions {
+			if r.Name == name {
+				return math.Abs(mech.LnKc(r, 6500) - mech.LnKc(r, 6000))
+			}
+		}
+		t.Fatalf("reaction %s missing", name)
+		return 0
+	}
+	if slopeOf("N2+O=NO+N") >= slopeOf("N2+M=2N+M") {
+		t.Error("exchange Kc should vary less than dissociation Kc")
+	}
+}
+
+// The equilibrium solver's composition should satisfy each reaction's Kc
+// directly (law of mass action), tested on the O2 dissociation quotient.
+func TestLawOfMassAction(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	mech, err := AirMechanism(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := NewEquilibriumSolver(m)
+	y0 := thermo.AirFreestreamMassFractions(m.Species)
+	T := 5000.0
+	rho := 0.05
+	y, err := eq.CompositionRhoT(rho, T, y0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cO2 := rho * y[thermo.AirO2] / m.Species[thermo.AirO2].W
+	cO := rho * y[thermo.AirO] / m.Species[thermo.AirO].W
+	var o2diss *Reaction
+	for _, r := range mech.Reactions {
+		if r.Name == "O2+M=2O+M" {
+			o2diss = r
+		}
+	}
+	lnQ := math.Log(cO * cO / cO2)
+	lnKc := mech.LnKc(o2diss, T)
+	if math.Abs(lnQ-lnKc) > 0.01 {
+		t.Errorf("mass-action quotient %g vs Kc %g", lnQ, lnKc)
+	}
+}

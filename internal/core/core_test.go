@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// A Shuttle-like entry point used across the dispatch tests.
+func entryProblem(class SolverClass) Problem {
+	return Problem{
+		Class:     class,
+		Chemistry: EquilibriumAir,
+		PInf:      4.8, TInf: 217, VInf: 6740,
+		NoseRadius: 0.6, TWall: 1200,
+		NStations: 14,
+	}
+}
+
+func TestSolverClassStrings(t *testing.T) {
+	for _, c := range []SolverClass{VSL, EBL, PNS, NS} {
+		if c.String() == "unknown" || c.String() == "" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if SolverClass(99).String() != "unknown" {
+		t.Error("unknown class should say so")
+	}
+}
+
+func TestDispatchVSL(t *testing.T) {
+	env, err := Solve(entryProblem(VSL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Class != VSL {
+		t.Error("wrong class")
+	}
+	if env.QConvStag < 1e4 || env.QConvStag > 1e7 {
+		t.Errorf("VSL stagnation heating %g outside band", env.QConvStag)
+	}
+	if env.Standoff <= 0 {
+		t.Error("no standoff")
+	}
+}
+
+func TestDispatchEBL(t *testing.T) {
+	p := entryProblem(EBL)
+	p.GammaW = 1
+	env, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Surface) != p.NStations {
+		t.Fatalf("surface points %d", len(env.Surface))
+	}
+	// Surface heating decays from the stagnation value.
+	if env.Surface[len(env.Surface)-1].Q > env.Surface[0].Q {
+		t.Error("heating should decay along the body")
+	}
+}
+
+func TestDispatchPNS(t *testing.T) {
+	env, err := Solve(entryProblem(PNS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.QConvStag <= 0 {
+		t.Error("no PNS stagnation heating")
+	}
+	if len(env.Surface) == 0 {
+		t.Error("no PNS surface distribution")
+	}
+}
+
+func TestDispatchNS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NS solve in short mode")
+	}
+	p := Problem{
+		Class:     NS,
+		Chemistry: EquilibriumAir,
+		PInf:      5474.9, TInf: 216.65,
+		VInf:       20 * math.Sqrt(1.4*287.05*216.65),
+		NoseRadius: 0.3, TWall: 1500,
+		NI: 12, NJ: 22, MaxSteps: 2200,
+	}
+	env, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.QConvStag <= 0 {
+		t.Error("no NS wall heating")
+	}
+	if env.Standoff <= 0 || env.Standoff > 0.3*0.3*10 {
+		t.Errorf("NS standoff %g", env.Standoff)
+	}
+}
+
+func TestCrossClassConsistency(t *testing.T) {
+	// The framework claim: different members of the hierarchy agree on the
+	// stagnation heating within a factor ~2 for the same problem.
+	envV, err := Solve(entryProblem(VSL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := entryProblem(EBL)
+	p.GammaW = 1
+	envE, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envP, err := Solve(entryProblem(PNS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []float64{envV.QConvStag, envE.QConvStag, envP.QConvStag}
+	for i := 1; i < len(qs); i++ {
+		r := qs[i] / qs[0]
+		if r < 0.4 || r > 2.5 {
+			t.Errorf("class %d stagnation heating %g vs VSL %g (ratio %g)", i, qs[i], qs[0], r)
+		}
+	}
+}
+
+func TestShockShapeReactingCloser(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Euler solves in short mode")
+	}
+	base := Problem{
+		PInf: 10.9, TInf: 233, VInf: 6700,
+		NoseRadius: 1.0, NI: 14, NJ: 24, MaxSteps: 2200,
+	}
+	pI := base
+	pI.Chemistry = IdealGas
+	_, _, dI, err := ShockShape(pI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pE := base
+	pE.Chemistry = EquilibriumAir
+	_, _, dE, err := ShockShape(pE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dE >= dI {
+		t.Errorf("reacting standoff %g should be below ideal %g", dE, dI)
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Error("empty problem accepted")
+	}
+	if _, err := Solve(Problem{PInf: 1, TInf: 1, VInf: 1}); err == nil {
+		t.Error("problem without geometry accepted")
+	}
+	p := entryProblem(VSL)
+	p.Chemistry = IdealGas
+	if _, err := Solve(p); err == nil {
+		t.Error("VSL with ideal gas should demand equilibrium chemistry")
+	}
+}

@@ -1,0 +1,55 @@
+package euler
+
+import (
+	"math"
+	"testing"
+
+	"cataero/internal/gas"
+	"cataero/internal/geometry"
+)
+
+func TestSphereEulerIdeal(t *testing.T) {
+	body := geometry.NewSphere(0.5)
+	r, err := Solve(Case{
+		Gas:  gas.NewIdealAir(),
+		Body: body,
+		NI:   14, NJ: 22,
+		VInf: 5 * math.Sqrt(1.4*287.05*220),
+		PInf: 200, TInf: 220,
+		Axisym:   true,
+		Standoff: func(s float64) float64 { return 0.2 + 0.2*s },
+		MaxSteps: 2500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sphere standoff at M=5: ~0.15 R.
+	if r.Standoff < 0.03 || r.Standoff > 0.15 {
+		t.Errorf("standoff %g m outside band for R=0.5", r.Standoff)
+	}
+	// Shock locus is monotone in y (opens outward).
+	for i := 1; i < len(r.ShockY); i++ {
+		if r.ShockY[i] < r.ShockY[i-1]-1e-6 {
+			t.Errorf("shock locus not opening at %d", i)
+		}
+	}
+}
+
+func TestOrbiterPitchPlaneBody(t *testing.T) {
+	o := geometry.NewOrbiter()
+	b := OrbiterPitchPlaneBody(o, 30*math.Pi/180, 12)
+	if b.NoseRadius() <= 0 {
+		t.Error("no nose radius")
+	}
+	// Surface inclination downstream ~ alpha.
+	th := b.Angle(b.MaxS() * 0.9)
+	if math.Abs(th-(30*math.Pi/180+0.015)) > 1e-6 {
+		t.Errorf("wedge angle %g", th)
+	}
+}
+
+func TestEulerErrors(t *testing.T) {
+	if _, err := Solve(Case{}); err == nil {
+		t.Error("empty case accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Package freeflight computes the flight-domain map of the paper's Fig. 1:
+// Reynolds number versus Mach number along representative vehicle
+// trajectories (Shuttle Orbiter entry, AOTV aeropass, transatmospheric
+// vehicle corridor, Titan probe entry), overlaid with the envelopes of
+// ground-based facilities (wind tunnels, shock tubes, ballistic ranges) to
+// show the simulation gap the paper motivates.
+package freeflight
+
+import (
+	"math"
+
+	"cataero/internal/atmosphere"
+	"cataero/internal/transport"
+)
+
+// Point is one (Mach, Reynolds) sample along a vehicle trajectory.
+type Point struct {
+	Altitude float64 // m
+	Velocity float64 // m/s
+	Mach     float64
+	Reynolds float64 // based on vehicle reference length
+}
+
+// Vehicle describes a flight-domain trajectory.
+type Vehicle struct {
+	Name      string
+	RefLength float64 // m
+	// Trajectory as altitude (m) and velocity (m/s) pairs.
+	Altitudes  []float64
+	Velocities []float64
+	Atmosphere atmosphere.Model
+}
+
+// Facility is a ground-test-capability envelope (a box in M-Re space).
+type Facility struct {
+	Name                     string
+	MachMin, MachMax         float64
+	ReynoldsMin, ReynoldsMax float64
+}
+
+// Domain computes the M-Re samples of a vehicle trajectory.
+func Domain(v Vehicle) []Point {
+	out := make([]Point, 0, len(v.Altitudes))
+	for i := range v.Altitudes {
+		st := v.Atmosphere.AtAltitude(v.Altitudes[i])
+		V := v.Velocities[i]
+		// Frozen-air sound speed and Sutherland viscosity: adequate for a
+		// domain map.
+		a := math.Sqrt(1.4 * 287.05 * st.Temperature)
+		mu := transport.Sutherland(st.Temperature)
+		out = append(out, Point{
+			Altitude: v.Altitudes[i],
+			Velocity: V,
+			Mach:     V / a,
+			Reynolds: st.Density * V * v.RefLength / mu,
+		})
+	}
+	return out
+}
+
+// StandardVehicles returns the vehicle set of the Fig. 1 reproduction.
+func StandardVehicles() []Vehicle {
+	earth := atmosphere.NewEarth()
+	titan := atmosphere.NewTitan()
+	return []Vehicle{
+		{
+			Name: "Shuttle Orbiter entry", RefLength: 32.77, Atmosphere: earth,
+			Altitudes:  []float64{78e3, 75e3, 71e3, 68e3, 65e3, 60e3, 55e3, 50e3, 45e3, 40e3, 33e3, 25e3, 15e3},
+			Velocities: []float64{7500, 7400, 7200, 7000, 6700, 6000, 5000, 4100, 3200, 2400, 1500, 800, 250},
+		},
+		{
+			Name: "AOTV aeropass", RefLength: 14, Atmosphere: earth,
+			Altitudes:  []float64{120e3, 110e3, 100e3, 92e3, 85e3, 80e3, 78e3, 80e3, 90e3, 105e3},
+			Velocities: []float64{10200, 10100, 10000, 9800, 9500, 9100, 8600, 8200, 8000, 7900},
+		},
+		{
+			Name: "TAV ascent corridor", RefLength: 30, Atmosphere: earth,
+			Altitudes:  []float64{12e3, 18e3, 24e3, 30e3, 37e3, 45e3, 52e3, 60e3, 68e3},
+			Velocities: []float64{600, 1000, 1600, 2300, 3200, 4400, 5600, 6800, 7600},
+		},
+		{
+			Name: "Titan probe entry", RefLength: 2.7, Atmosphere: titan,
+			Altitudes:  []float64{450e3, 400e3, 350e3, 300e3, 260e3, 230e3, 200e3, 170e3},
+			Velocities: []float64{12000, 11900, 11500, 10500, 9000, 7000, 4500, 2500},
+		},
+	}
+}
+
+// StandardFacilities returns the ground-facility envelopes of Fig. 1.
+func StandardFacilities() []Facility {
+	return []Facility{
+		{"Hypersonic wind tunnels", 5, 14, 1e5, 5e7},
+		{"Transonic/supersonic tunnels", 0.3, 5, 1e6, 1e9},
+		{"Shock tubes/tunnels", 6, 25, 1e3, 3e6},
+		{"Ballistic ranges", 2, 20, 1e4, 5e7},
+		{"Arc jets", 3, 8, 1e3, 1e6},
+	}
+}
+
+// Covered reports whether the point lies inside any facility envelope:
+// the high-altitude hypervelocity points of the AOTV and probe entries
+// should NOT be covered (the paper's motivating gap).
+func Covered(p Point, facilities []Facility) bool {
+	for _, f := range facilities {
+		if p.Mach >= f.MachMin && p.Mach <= f.MachMax &&
+			p.Reynolds >= f.ReynoldsMin && p.Reynolds <= f.ReynoldsMax {
+			return true
+		}
+	}
+	return false
+}

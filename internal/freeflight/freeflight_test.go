@@ -1,0 +1,73 @@
+package freeflight
+
+import (
+	"testing"
+)
+
+func TestShuttleDomain(t *testing.T) {
+	vs := StandardVehicles()
+	shuttle := vs[0]
+	pts := Domain(shuttle)
+	if len(pts) != len(shuttle.Altitudes) {
+		t.Fatalf("points %d", len(pts))
+	}
+	// Entry interface: high Mach, low Re; landing: low Mach, high Re.
+	first, last := pts[0], pts[len(pts)-1]
+	if first.Mach < 15 {
+		t.Errorf("entry Mach %g should exceed 15", first.Mach)
+	}
+	if last.Mach > 1.2 {
+		t.Errorf("landing Mach %g should be subsonic-ish", last.Mach)
+	}
+	if first.Reynolds >= last.Reynolds {
+		t.Errorf("Re should grow during descent: %g -> %g", first.Reynolds, last.Reynolds)
+	}
+	if last.Reynolds < 1e7 {
+		t.Errorf("low-altitude Re %g implausibly small for a 32.8 m vehicle", last.Reynolds)
+	}
+}
+
+func TestAOTVGapUncovered(t *testing.T) {
+	// The paper's point: the AOTV high-altitude hypervelocity regime cannot
+	// be reached by ground facilities.
+	vs := StandardVehicles()
+	fac := StandardFacilities()
+	aotv := vs[1]
+	pts := Domain(aotv)
+	uncovered := 0
+	for _, p := range pts {
+		if !Covered(p, fac) {
+			uncovered++
+		}
+	}
+	if uncovered < len(pts)/2 {
+		t.Errorf("only %d of %d AOTV points uncovered; the simulation gap should dominate", uncovered, len(pts))
+	}
+}
+
+func TestLowSpeedCovered(t *testing.T) {
+	// Conversely, the low-altitude portion of the TAV corridor is coverable.
+	vs := StandardVehicles()
+	fac := StandardFacilities()
+	tav := vs[2]
+	pts := Domain(tav)
+	if !Covered(pts[0], fac) {
+		t.Errorf("low-altitude TAV point (M=%g, Re=%g) should be covered", pts[0].Mach, pts[0].Reynolds)
+	}
+}
+
+func TestVehicleSetSane(t *testing.T) {
+	for _, v := range StandardVehicles() {
+		if len(v.Altitudes) != len(v.Velocities) {
+			t.Errorf("%s: mismatched trajectory arrays", v.Name)
+		}
+		if v.RefLength <= 0 || v.Atmosphere == nil {
+			t.Errorf("%s: bad metadata", v.Name)
+		}
+		for _, p := range Domain(v) {
+			if p.Mach <= 0 || p.Reynolds <= 0 {
+				t.Errorf("%s: nonpositive M/Re point", v.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package fvm
+
+import (
+	"fmt"
+	"math"
+)
+
+// computeResidual assembles the flux balance of every cell into s.res
+// (d(U V)/dt = -res). Boundary conditions are applied at the flux level.
+func (s *Solver) computeResidual() {
+	ni, nj := s.ni, s.nj
+	for k := range s.res {
+		s.res[k] = Cons{}
+	}
+	// I-direction faces: i = 0..ni, between cells (i-1,j) and (i,j).
+	parallelFor(nj, func(j int) {
+		for i := 0; i <= ni; i++ {
+			sx, sy := s.G.FaceI(i, j)
+			var L, R Prim
+			switch {
+			case i == 0:
+				// Symmetry plane (stagnation line): mirror the first cell.
+				in := s.prim[s.idx(0, j)]
+				L = mirror(in, sx, sy)
+				R = in
+			case i == ni:
+				// Outflow: zero-gradient ghost.
+				in := s.prim[s.idx(ni-1, j)]
+				L = in
+				R = in
+			default:
+				m := s.prim[s.idx(i-1, j)]
+				p := s.prim[s.idx(i, j)]
+				if s.Opts.MUSCL {
+					var mm, pp Prim
+					hasMM, hasPP := i-2 >= 0, i+1 <= ni-1
+					if hasMM {
+						mm = s.prim[s.idx(i-2, j)]
+					}
+					if hasPP {
+						pp = s.prim[s.idx(i+1, j)]
+					}
+					L, R = reconstruct(mm, m, p, pp, hasMM, hasPP)
+				} else {
+					L, R = m, p
+				}
+			}
+			f := hlle(L, R, sx, sy)
+			if i > 0 {
+				k := s.idx(i-1, j)
+				for c := 0; c < 4; c++ {
+					s.res[k][c] += f[c]
+				}
+			}
+			if i < ni {
+				k := s.idx(i, j)
+				for c := 0; c < 4; c++ {
+					s.res[k][c] -= f[c]
+				}
+			}
+		}
+	})
+	// J-direction faces: j = 0..nj, between cells (i,j-1) and (i,j).
+	parallelFor(ni, func(i int) {
+		for j := 0; j <= nj; j++ {
+			sx, sy := s.G.FaceJ(i, j)
+			var f Cons
+			switch {
+			case j == 0:
+				f = s.wallFlux(i, sx, sy)
+			case j == nj:
+				// Outer boundary: freestream ghost (supersonic inflow).
+				in := s.prim[s.idx(i, nj-1)]
+				f = hlle(in, s.pInf, sx, sy)
+			default:
+				m := s.prim[s.idx(i, j-1)]
+				p := s.prim[s.idx(i, j)]
+				var L, R Prim
+				if s.Opts.MUSCL {
+					var mm, pp Prim
+					hasMM, hasPP := j-2 >= 0, j+1 <= nj-1
+					if hasMM {
+						mm = s.prim[s.idx(i, j-2)]
+					}
+					if hasPP {
+						pp = s.prim[s.idx(i, j+1)]
+					}
+					L, R = reconstruct(mm, m, p, pp, hasMM, hasPP)
+				} else {
+					L, R = m, p
+				}
+				f = hlle(L, R, sx, sy)
+				if s.Opts.Viscous {
+					fv := s.viscousFluxJ(i, j, sx, sy)
+					for c := 0; c < 4; c++ {
+						f[c] += fv[c]
+					}
+				}
+			}
+			if j > 0 {
+				k := s.idx(i, j-1)
+				for c := 0; c < 4; c++ {
+					s.res[k][c] += f[c]
+				}
+			}
+			if j < nj {
+				k := s.idx(i, j)
+				for c := 0; c < 4; c++ {
+					s.res[k][c] -= f[c]
+				}
+			}
+		}
+	})
+	// Axisymmetric hoop-pressure source in the radial momentum equation.
+	if s.G.Axisymmetric {
+		parallelFor(ni, func(i int) {
+			for j := 0; j < nj; j++ {
+				k := s.idx(i, j)
+				s.res[k][2] -= s.prim[k].P * s.G.CellArea(i, j)
+			}
+		})
+	}
+}
+
+// mirror reflects a primitive state across a face with area vector (sx, sy).
+func mirror(q Prim, sx, sy float64) Prim {
+	area := math.Hypot(sx, sy)
+	if area == 0 {
+		return q
+	}
+	nx, ny := sx/area, sy/area
+	un := q.U*nx + q.V*ny
+	out := q
+	out.U = q.U - 2*un*nx
+	out.V = q.V - 2*un*ny
+	return out
+}
+
+// wallFlux returns the j=0 wall flux for column i.
+func (s *Solver) wallFlux(i int, sx, sy float64) Cons {
+	q := s.prim[s.idx(i, 0)]
+	area := math.Hypot(sx, sy)
+	if area == 0 {
+		return Cons{}
+	}
+	// Inviscid part: pressure only (tangency). Use the mirrored-state HLLE
+	// for robustness at strong transients.
+	g := mirror(q, sx, sy)
+	f := hlle(g, q, sx, sy)
+	if !s.Opts.Viscous || s.Opts.Wall != NoSlipIsothermal {
+		return f
+	}
+	// Viscous no-slip isothermal wall: shear from the half-cell gradient and
+	// conduction against the fixed wall temperature.
+	dn := s.halfHeight(i)
+	mu := s.Opts.Mu(0.5 * (q.T + s.Opts.TWall))
+	kth := s.Opts.K(0.5 * (q.T + s.Opts.TWall))
+	f[1] -= mu * q.U / dn * area
+	f[2] -= mu * q.V / dn * area
+	f[3] -= kth * (q.T - s.Opts.TWall) / dn * area
+	return f
+}
+
+// halfHeight returns the wall-normal half height of cell (i, 0).
+func (s *Solver) halfHeight(i int) float64 {
+	dx := s.G.X[i][1] - s.G.X[i][0]
+	dy := s.G.Y[i][1] - s.G.Y[i][0]
+	return 0.5 * math.Hypot(dx, dy)
+}
+
+// viscousFluxJ returns the thin-layer viscous flux through interior j-face
+// (i, j) with area vector (sx, sy), pointing toward +j. Sign convention:
+// returned flux is added to the +j-directed total flux.
+func (s *Solver) viscousFluxJ(i, j int, sx, sy float64) Cons {
+	m := s.prim[s.idx(i, j-1)]
+	p := s.prim[s.idx(i, j)]
+	area := math.Hypot(sx, sy)
+	// Distance between cell centers.
+	xm, ym := s.G.CellCenter(i, j-1)
+	xp, yp := s.G.CellCenter(i, j)
+	dn := math.Hypot(xp-xm, yp-ym)
+	if dn == 0 {
+		return Cons{}
+	}
+	Tf := 0.5 * (m.T + p.T)
+	mu := s.Opts.Mu(Tf)
+	kth := s.Opts.K(Tf)
+	dudn := (p.U - m.U) / dn
+	dvdn := (p.V - m.V) / dn
+	dTdn := (p.T - m.T) / dn
+	uf := 0.5 * (m.U + p.U)
+	vf := 0.5 * (m.V + p.V)
+	return Cons{
+		0,
+		-mu * dudn * area,
+		-mu * dvdn * area,
+		-(mu*(uf*dudn+vf*dvdn) + kth*dTdn) * area,
+	}
+}
+
+// timeSteps fills the local time-step array.
+func (s *Solver) timeSteps() {
+	parallelFor(s.ni, func(i int) {
+		for j := 0; j < s.nj; j++ {
+			k := s.idx(i, j)
+			q := s.prim[k]
+			vol := s.G.CellVolume(i, j)
+			// Spectral radius estimate over the four faces.
+			lam := 0.0
+			sMax := 0.0
+			for _, face := range [][2]float64{
+				faceVec(s.G.FaceI(i, j)), faceVec(s.G.FaceI(i+1, j)),
+				faceVec(s.G.FaceJ(i, j)), faceVec(s.G.FaceJ(i, j+1)),
+			} {
+				mag := math.Hypot(face[0], face[1])
+				un := math.Abs(q.U*face[0]+q.V*face[1]) + q.A*mag
+				if un > lam {
+					lam = un
+				}
+				if mag > sMax {
+					sMax = mag
+				}
+			}
+			if s.Opts.Viscous {
+				// Diffusive spectral radius 2 mu S^2 / (rho V).
+				lam += 2 * s.Opts.Mu(q.T) * sMax * sMax / (q.Rho * vol)
+			}
+			if lam <= 0 {
+				lam = 1
+			}
+			s.dt[k] = s.Opts.CFL * vol / lam
+		}
+	})
+}
+
+func faceVec(sx, sy float64) [2]float64 { return [2]float64{sx, sy} }
+
+// Step advances one explicit two-stage (Heun) local-time step and returns
+// the RMS density residual.
+func (s *Solver) Step() float64 {
+	s.updatePrimitives()
+	s.timeSteps()
+	copy(s.u0, s.U)
+	// Stage 1.
+	s.computeResidual()
+	s.applyUpdate(1.0)
+	// Stage 2.
+	s.updatePrimitives()
+	s.computeResidual()
+	rms := 0.0
+	n := 0
+	for i := 0; i < s.ni; i++ {
+		for j := 0; j < s.nj; j++ {
+			k := s.idx(i, j)
+			vol := s.G.CellVolume(i, j)
+			dtv := s.dt[k] / vol
+			for c := 0; c < 4; c++ {
+				s.U[k][c] = 0.5*s.u0[k][c] + 0.5*(s.U[k][c]-dtv*s.res[k][c])
+			}
+			r := s.res[k][0] / vol
+			rms += r * r
+			n++
+		}
+	}
+	return math.Sqrt(rms / float64(n))
+}
+
+func (s *Solver) applyUpdate(frac float64) {
+	parallelFor(s.ni, func(i int) {
+		for j := 0; j < s.nj; j++ {
+			k := s.idx(i, j)
+			dtv := frac * s.dt[k] / s.G.CellVolume(i, j)
+			for c := 0; c < 4; c++ {
+				s.U[k][c] -= dtv * s.res[k][c]
+			}
+		}
+	})
+}
+
+// Run iterates until the density residual falls by dropTol relative to its
+// initial value or maxSteps is reached. Returns the final residual.
+func (s *Solver) Run(maxSteps int, dropTol float64) (float64, error) {
+	if maxSteps <= 0 {
+		maxSteps = 2000
+	}
+	first := -1.0
+	res := 0.0
+	for n := 0; n < maxSteps; n++ {
+		res = s.Step()
+		if math.IsNaN(res) {
+			return res, fmt.Errorf("fvm: residual NaN at step %d", n)
+		}
+		if first < 0 && res > 0 {
+			first = res
+		}
+		if first > 0 && res < first*dropTol {
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// Primitive returns the converged primitive state of cell (i, j).
+func (s *Solver) Primitive(i, j int) Prim {
+	s.prim[s.idx(i, j)] = s.decode(s.U[s.idx(i, j)])
+	return s.prim[s.idx(i, j)]
+}
+
+// Freestream returns the freestream primitive state.
+func (s *Solver) Freestream() Prim { return s.pInf }
+
+// ShockLocus returns, for each i-line, the (x, y) position where the
+// pressure first exceeds threshold*pInf marching inward from the outer
+// boundary, or the outer node when no shock is found on that line.
+func (s *Solver) ShockLocus(threshold float64) (xs, ys []float64) {
+	s.updatePrimitives()
+	xs = make([]float64, s.ni)
+	ys = make([]float64, s.ni)
+	for i := 0; i < s.ni; i++ {
+		xs[i] = s.G.X[i][s.nj]
+		ys[i] = s.G.Y[i][s.nj]
+		for j := s.nj - 1; j >= 0; j-- {
+			if s.prim[s.idx(i, j)].P > threshold*s.pInf.P {
+				xc, yc := s.G.CellCenter(i, j)
+				xs[i], ys[i] = xc, yc
+				break
+			}
+		}
+	}
+	return xs, ys
+}
+
+// WallPressure returns p along the wall (cell row j=0).
+func (s *Solver) WallPressure() []float64 {
+	s.updatePrimitives()
+	out := make([]float64, s.ni)
+	for i := 0; i < s.ni; i++ {
+		out[i] = s.prim[s.idx(i, 0)].P
+	}
+	return out
+}
+
+// WallHeatFlux returns the wall heat flux (W/m^2) for viscous runs.
+func (s *Solver) WallHeatFlux() []float64 {
+	s.updatePrimitives()
+	out := make([]float64, s.ni)
+	if !s.Opts.Viscous {
+		return out
+	}
+	for i := 0; i < s.ni; i++ {
+		q := s.prim[s.idx(i, 0)]
+		dn := s.halfHeight(i)
+		kth := s.Opts.K(0.5 * (q.T + s.Opts.TWall))
+		out[i] = kth * (q.T - s.Opts.TWall) / dn
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package gas defines the gas-model abstraction shared by the flow solvers:
+// the mapping between conserved quantities (density, specific internal
+// energy) and primitive quantities (pressure, temperature, sound speed),
+// for a calorically perfect ideal gas and for air in local thermochemical
+// equilibrium. The equilibrium model is available in an exact form (a Gibbs
+// solve per query) and as a precomputed log-log table for the finite-volume
+// solvers' inner loops.
+package gas
+
+import (
+	"fmt"
+	"math"
+
+	"cataero/internal/chem"
+	"cataero/internal/thermo"
+)
+
+// Model converts between (rho, e) and primitive thermodynamic state.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// PrimState returns pressure, temperature and the sound speed used for
+	// wave-speed estimates, given density and specific internal energy.
+	PrimState(rho, e float64) (p, T, a float64, err error)
+	// EnergyPT returns density and specific internal energy at (p, T);
+	// used to set boundary and initial states.
+	EnergyPT(p, T float64) (rho, e float64, err error)
+}
+
+// Ideal is a calorically perfect gas with ratio of specific heats Gamma and
+// specific gas constant R.
+type Ideal struct {
+	Gamma float64
+	Rgas  float64
+}
+
+// NewIdealAir returns the standard gamma=1.4 air model.
+func NewIdealAir() *Ideal { return &Ideal{Gamma: 1.4, Rgas: 287.05} }
+
+// NewIdeal returns an ideal gas with the given gamma and R.
+func NewIdeal(gamma, r float64) *Ideal { return &Ideal{Gamma: gamma, Rgas: r} }
+
+// Name implements Model.
+func (g *Ideal) Name() string { return fmt.Sprintf("ideal (gamma=%.3g)", g.Gamma) }
+
+// PrimState implements Model.
+func (g *Ideal) PrimState(rho, e float64) (p, T, a float64, err error) {
+	if rho <= 0 || e <= 0 {
+		return 0, 0, 0, fmt.Errorf("gas: nonphysical ideal state rho=%g e=%g", rho, e)
+	}
+	p = (g.Gamma - 1) * rho * e
+	cv := g.Rgas / (g.Gamma - 1)
+	T = e / cv
+	a = math.Sqrt(g.Gamma * p / rho)
+	return p, T, a, nil
+}
+
+// EnergyPT implements Model.
+func (g *Ideal) EnergyPT(p, T float64) (rho, e float64, err error) {
+	if p <= 0 || T <= 0 {
+		return 0, 0, fmt.Errorf("gas: nonphysical ideal state p=%g T=%g", p, T)
+	}
+	rho = p / (g.Rgas * T)
+	e = g.Rgas / (g.Gamma - 1) * T
+	return rho, e, nil
+}
+
+// Equilibrium is air (or any mixture) in local thermochemical equilibrium:
+// every query performs a Gibbs equilibrium solve. Exact but relatively
+// expensive; use NewTable for solver inner loops.
+type Equilibrium struct {
+	Mix *thermo.Mixture
+	Eq  *chem.EquilibriumSolver
+	Y0  []float64 // reference (element-defining) composition
+	// EFloor shifts internal energies so they stay positive for cold states
+	// (formation-enthalpy zero can make e negative for dissociated mixtures;
+	// the solvers carry e relative to 0 K mixture enthalpy).
+	lastT float64
+}
+
+// NewEquilibriumAir returns the exact equilibrium air model over the
+// 11-species set.
+func NewEquilibriumAir() *Equilibrium {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	return &Equilibrium{
+		Mix: m,
+		Eq:  chem.NewEquilibriumSolver(m),
+		Y0:  thermo.AirFreestreamMassFractions(m.Species),
+	}
+}
+
+// NewEquilibrium returns an equilibrium model for an arbitrary mixture and
+// reference composition.
+func NewEquilibrium(m *thermo.Mixture, y0 []float64) *Equilibrium {
+	return &Equilibrium{Mix: m, Eq: chem.NewEquilibriumSolver(m), Y0: y0}
+}
+
+// Name implements Model.
+func (g *Equilibrium) Name() string { return "equilibrium" }
+
+// PrimState implements Model.
+func (g *Equilibrium) PrimState(rho, e float64) (p, T, a float64, err error) {
+	if rho <= 0 {
+		return 0, 0, 0, fmt.Errorf("gas: nonphysical equilibrium state rho=%g", rho)
+	}
+	T, y, err := g.Eq.TemperatureRhoE(rho, e, g.Y0, g.lastT)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	g.lastT = T
+	p = g.Mix.Pressure(rho, T, y)
+	a, err = g.soundSpeed(rho, e, p, T, y)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return p, T, a, nil
+}
+
+// soundSpeed returns the equilibrium sound speed from
+// a^2 = (dp/drho)_e + (p/rho^2)(dp/de)_rho by centered differences on the
+// equilibrium EOS (shifted states reuse the warm start, so this is cheap).
+func (g *Equilibrium) soundSpeed(rho, e, p, T float64, y []float64) (float64, error) {
+	pOf := func(rho, e float64) (float64, error) {
+		Ti, yi, err := g.Eq.TemperatureRhoE(rho, e, g.Y0, T)
+		if err != nil {
+			return 0, err
+		}
+		return g.Mix.Pressure(rho, Ti, yi), nil
+	}
+	dr := 1e-4 * rho
+	de := 1e-4 * math.Abs(e)
+	if de == 0 {
+		de = 1
+	}
+	pr1, err := pOf(rho+dr, e)
+	if err != nil {
+		return 0, err
+	}
+	pr0, err := pOf(rho-dr, e)
+	if err != nil {
+		return 0, err
+	}
+	pe1, err := pOf(rho, e+de)
+	if err != nil {
+		return 0, err
+	}
+	pe0, err := pOf(rho, e-de)
+	if err != nil {
+		return 0, err
+	}
+	dpdr := (pr1 - pr0) / (2 * dr)
+	dpde := (pe1 - pe0) / (2 * de)
+	a2 := dpdr + p/(rho*rho)*dpde
+	if a2 <= 0 {
+		// Defensive: fall back to the frozen sound speed.
+		return g.Mix.SoundSpeedFrozen(T, y), nil
+	}
+	return math.Sqrt(a2), nil
+}
+
+// EnergyPT implements Model.
+func (g *Equilibrium) EnergyPT(p, T float64) (rho, e float64, err error) {
+	y, rho, err := g.Eq.CompositionPT(p, T, g.Y0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rho, g.Mix.EInternal(T, y), nil
+}
+
+// Composition returns the equilibrium mass fractions at (rho, T).
+func (g *Equilibrium) Composition(rho, T float64) ([]float64, error) {
+	return g.Eq.CompositionRhoT(rho, T, g.Y0)
+}

@@ -1,0 +1,163 @@
+package gas
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIdealRoundTrip(t *testing.T) {
+	g := NewIdealAir()
+	rho, e, err := g.EnergyPT(101325, 288.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1.225) > 0.01 {
+		t.Errorf("rho=%g want 1.225", rho)
+	}
+	p, T, a, err := g.PrimState(rho, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-101325) > 1 || math.Abs(T-288.15) > 0.01 {
+		t.Errorf("round trip p=%g T=%g", p, T)
+	}
+	if math.Abs(a-340.3) > 1 {
+		t.Errorf("a=%g want ~340", a)
+	}
+}
+
+func TestIdealErrors(t *testing.T) {
+	g := NewIdealAir()
+	if _, _, _, err := g.PrimState(-1, 1); err == nil {
+		t.Error("negative rho accepted")
+	}
+	if _, _, err := g.EnergyPT(0, 300); err == nil {
+		t.Error("zero p accepted")
+	}
+}
+
+func TestEquilibriumColdMatchesIdeal(t *testing.T) {
+	// At 300 K equilibrium air is just frozen N2/O2; p and T from the
+	// equilibrium model should match the ideal gas closely.
+	eqm := NewEquilibriumAir()
+	rho, e, err := eqm.EnergyPT(101325, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, T, a, err := eqm.PrimState(rho, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-101325) > 200 {
+		t.Errorf("p=%g want ~101325", p)
+	}
+	if math.Abs(T-300) > 1 {
+		t.Errorf("T=%g want 300", T)
+	}
+	if math.Abs(a-347) > 6 {
+		t.Errorf("a=%g want ~347", a)
+	}
+}
+
+func TestEquilibriumHotDissociated(t *testing.T) {
+	eqm := NewEquilibriumAir()
+	// A strongly heated state: rho=0.01, T=8000 K.
+	rho := 0.01
+	y, err := eqm.Composition(rho, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := eqm.Mix.EInternal(8000, y)
+	p, T, a, err := eqm.PrimState(rho, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(T-8000) > 40 {
+		t.Errorf("T=%g want 8000", T)
+	}
+	// Dissociation raises the particle count: p above frozen-air value.
+	pFrozen := rho * 287 * 8000
+	if p < 1.2*pFrozen {
+		t.Errorf("p=%g should exceed frozen %g by >20%%", p, pFrozen)
+	}
+	// Equilibrium sound speed is positive and plausible (km/s scale).
+	if a < 1000 || a > 4000 {
+		t.Errorf("a=%g outside plausible range", a)
+	}
+}
+
+func TestEquilibriumSoundSpeedBelowFrozen(t *testing.T) {
+	// In reacting regions the equilibrium sound speed is typically below
+	// the frozen sound speed.
+	eqm := NewEquilibriumAir()
+	rho := 0.05
+	T := 5000.0
+	y, err := eqm.Composition(rho, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := eqm.Mix.EInternal(T, y)
+	_, Tgot, a, err := eqm.PrimState(rho, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := eqm.Mix.SoundSpeedFrozen(Tgot, y)
+	if a > frozen*1.05 {
+		t.Errorf("a_eq=%g exceeds frozen %g", a, frozen)
+	}
+}
+
+func TestTableMatchesExact(t *testing.T) {
+	eqm := NewEquilibriumAir()
+	tab, err := NewTable(eqm, 1e-4, 1.0, 2e5, 3e7, 25, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare at off-node states.
+	for _, c := range []struct{ rho, e float64 }{
+		{0.001, 1e6}, {0.01, 5e6}, {0.1, 2e7}, {0.3, 8e5},
+	} {
+		pe, Te, ae, err := eqm.PrimState(c.rho, c.e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, Tt, at, err := tab.PrimState(c.rho, c.e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pt-pe)/pe > 0.03 {
+			t.Errorf("rho=%g e=%g: table p=%g exact %g", c.rho, c.e, pt, pe)
+		}
+		if math.Abs(Tt-Te)/Te > 0.03 {
+			t.Errorf("rho=%g e=%g: table T=%g exact %g", c.rho, c.e, Tt, Te)
+		}
+		if math.Abs(at-ae)/ae > 0.05 {
+			t.Errorf("rho=%g e=%g: table a=%g exact %g", c.rho, c.e, at, ae)
+		}
+	}
+}
+
+func TestTableClampsOutOfRange(t *testing.T) {
+	g := NewIdealAir()
+	tab, err := NewTable(g, 1e-3, 1, 1e5, 1e7, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries beyond the bounds do not error; they clamp to the edge cell.
+	if _, _, _, err := tab.PrimState(10, 1e8); err != nil {
+		t.Errorf("clamped query errored: %v", err)
+	}
+	if _, _, _, err := tab.PrimState(-1, 1e6); err == nil {
+		t.Error("negative rho should error")
+	}
+}
+
+func TestTableBadBounds(t *testing.T) {
+	g := NewIdealAir()
+	if _, err := NewTable(g, 1, 1e-3, 1e5, 1e7, 8, 8); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := NewTable(g, 1e-3, 1, 1e5, 1e7, 1, 8); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package gas
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Table is a precomputed equilibrium EOS over a log-log (rho, e) rectangle,
+// bilinearly interpolated. It makes the equilibrium model cheap enough for
+// finite-volume inner loops (the paper's point about real-gas NS solvers
+// needing "approximate but usefully accurate" models).
+type Table struct {
+	base       Model
+	lnRho, lnE []float64
+	p, T, a    []float64 // row-major [iRho*ne + iE], stored as ln(p), T, a
+	nr, ne     int
+	name       string
+}
+
+// NewTable samples the given model over rho in [rhoMin, rhoMax] and e in
+// [eMin, eMax] (both log-spaced, nr x ne nodes) in parallel and returns the
+// interpolating table.
+func NewTable(base Model, rhoMin, rhoMax, eMin, eMax float64, nr, ne int) (*Table, error) {
+	if nr < 2 || ne < 2 {
+		return nil, fmt.Errorf("gas: table needs at least 2x2 nodes")
+	}
+	if rhoMin <= 0 || eMin <= 0 || rhoMax <= rhoMin || eMax <= eMin {
+		return nil, fmt.Errorf("gas: bad table bounds")
+	}
+	t := &Table{
+		base:  base,
+		lnRho: logspace(rhoMin, rhoMax, nr),
+		lnE:   logspace(eMin, eMax, ne),
+		p:     make([]float64, nr*ne),
+		T:     make([]float64, nr*ne),
+		a:     make([]float64, nr*ne),
+		nr:    nr, ne: ne,
+		name: base.Name() + " (table)",
+	}
+	// Fill rows in parallel; each worker owns a private model clone when the
+	// base is an *Equilibrium (its warm start is not goroutine safe).
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > nr {
+		workers = nr
+	}
+	errs := make([]error, workers)
+	rows := make(chan int, nr)
+	for i := 0; i < nr; i++ {
+		rows <- i
+	}
+	close(rows)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			model := base
+			if eqm, ok := base.(*Equilibrium); ok {
+				model = NewEquilibrium(eqm.Mix, eqm.Y0)
+			}
+			for i := range rows {
+				rho := math.Exp(t.lnRho[i])
+				for j := 0; j < t.ne; j++ {
+					e := math.Exp(t.lnE[j])
+					p, T, a, err := model.PrimState(rho, e)
+					if err != nil {
+						errs[w] = fmt.Errorf("gas: table node (%d,%d): %w", i, j, err)
+						return
+					}
+					t.p[i*t.ne+j] = math.Log(p)
+					t.T[i*t.ne+j] = T
+					t.a[i*t.ne+j] = a
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func logspace(a, b float64, n int) []float64 {
+	out := make([]float64, n)
+	la, lb := math.Log(a), math.Log(b)
+	for i := range out {
+		out[i] = la + (lb-la)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// Name implements Model.
+func (t *Table) Name() string { return t.name }
+
+// locate returns the cell index and fraction for value v in the sorted grid.
+func locate(grid []float64, v float64) (int, float64) {
+	n := len(grid)
+	if v <= grid[0] {
+		return 0, 0
+	}
+	if v >= grid[n-1] {
+		return n - 2, 1
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if grid[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, (v - grid[lo]) / (grid[lo+1] - grid[lo])
+}
+
+// PrimState implements Model by bilinear interpolation in (ln rho, ln e).
+func (t *Table) PrimState(rho, e float64) (p, T, a float64, err error) {
+	if rho <= 0 || e <= 0 {
+		return 0, 0, 0, fmt.Errorf("gas: nonphysical table query rho=%g e=%g", rho, e)
+	}
+	i, fi := locate(t.lnRho, math.Log(rho))
+	j, fj := locate(t.lnE, math.Log(e))
+	bilin := func(v []float64) float64 {
+		v00 := v[i*t.ne+j]
+		v01 := v[i*t.ne+j+1]
+		v10 := v[(i+1)*t.ne+j]
+		v11 := v[(i+1)*t.ne+j+1]
+		return (1-fi)*((1-fj)*v00+fj*v01) + fi*((1-fj)*v10+fj*v11)
+	}
+	p = math.Exp(bilin(t.p))
+	T = bilin(t.T)
+	a = bilin(t.a)
+	return p, T, a, nil
+}
+
+// EnergyPT implements Model by delegating to the base model (used only for
+// boundary setup, never in inner loops).
+func (t *Table) EnergyPT(p, T float64) (rho, e float64, err error) {
+	return t.base.EnergyPT(p, T)
+}

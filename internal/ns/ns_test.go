@@ -1,0 +1,97 @@
+package ns
+
+import (
+	"math"
+	"testing"
+
+	"cataero/internal/gas"
+	"cataero/internal/thermo"
+	"cataero/internal/transport"
+)
+
+// fig9Case is a reduced-size version of the paper's Fig. 9 configuration:
+// Mach 20 at 20 km over a hemisphere, equilibrium air.
+func fig9Case(t *testing.T) (Case, *gas.Equilibrium) {
+	t.Helper()
+	eqm := gas.NewEquilibriumAir()
+	tab, err := gas.NewTable(eqm, 5e-3, 3.0, 1e5, 2.2e7, 30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.NewMixture(eqm.Mix)
+	mu, k, err := EquilibriumTransport(eqm, tr, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aInf := math.Sqrt(1.4 * 287.05 * 216.65)
+	return Case{
+		Gas: tab, Rn: 0.3,
+		NI: 14, NJ: 26,
+		VInf: 20 * aInf, PInf: 5474.9, TInf: 216.65,
+		TWall: 1500, MaxSteps: 3000,
+		Mu: mu, K: k,
+	}, eqm
+}
+
+func TestHemisphereNS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NS solve in short mode")
+	}
+	c, eqm := fig9Case(t)
+	r, err := Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall heat flux positive and peaked at the stagnation point region.
+	if r.QWall[0] <= 0 {
+		t.Errorf("stagnation heat flux %g", r.QWall[0])
+	}
+	iMax := 0
+	for i, q := range r.QWall {
+		if q > r.QWall[iMax] {
+			iMax = i
+		}
+	}
+	if iMax > len(r.QWall)/2 {
+		t.Errorf("heating peak at station %d of %d; expected near the nose", iMax, len(r.QWall))
+	}
+	// N2 dissociation in the shock layer: the stagnation-line mole fraction
+	// must fall from the freestream 0.79 toward the Fig. 9 contour range.
+	y0 := thermo.AirFreestreamMassFractions(eqm.Mix.Species)
+	cross, err := r.ContourCrossings(eqm.Eq, y0, []float64{0.75, 0.70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cross[0.75]; !ok {
+		t.Error("no 0.75 N2 contour on the stagnation line: shock layer not dissociating")
+	}
+	// Field query machinery.
+	xs, ys, xn2, err := r.N2Field(eqm.Eq, y0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != len(ys) || len(xs) != len(xn2) || len(xs) == 0 {
+		t.Fatal("bad field arrays")
+	}
+	minX := 1.0
+	for _, v := range xn2 {
+		if v < minX {
+			minX = v
+		}
+	}
+	if minX > 0.78 {
+		t.Errorf("no dissociation anywhere: min x(N2) = %g", minX)
+	}
+	if minX < 0.2 {
+		t.Errorf("implausibly strong dissociation at 20 km/M20: min x(N2) = %g", minX)
+	}
+}
+
+func TestNSErrors(t *testing.T) {
+	if _, err := Solve(Case{}); err == nil {
+		t.Error("empty case accepted")
+	}
+	if _, err := Solve(Case{Gas: gas.NewIdealAir()}); err == nil {
+		t.Error("missing radius accepted")
+	}
+}

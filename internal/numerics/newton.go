@@ -1,0 +1,241 @@
+package numerics
+
+import (
+	"fmt"
+	"math"
+)
+
+// NewtonOptions configures the damped Newton solver.
+type NewtonOptions struct {
+	MaxIter  int     // maximum iterations (default 50)
+	Tol      float64 // residual infinity-norm tolerance (default 1e-10)
+	Damping  float64 // initial step fraction (default 1.0)
+	MinLam   float64 // smallest allowed line-search step (default 1e-4)
+	FDStep   float64 // finite-difference Jacobian relative step (default 1e-7)
+	MaxStep  float64 // max infinity-norm of the Newton update, 0 = unlimited
+	Verbose  bool
+	Residual func(x, f []float64) error // required: f(x)
+	Jacobian func(x, J []float64) error // optional: row-major n×n Jacobian
+}
+
+// NewtonSolve solves f(x)=0 for the system described by opts, starting from
+// x0 (which is modified in place and returned). If no analytic Jacobian is
+// provided a forward finite-difference Jacobian is used. A simple backtracking
+// line search on |f| provides globalization.
+func NewtonSolve(x []float64, opts NewtonOptions) error {
+	n := len(x)
+	if opts.Residual == nil {
+		return fmt.Errorf("numerics: NewtonSolve requires a Residual function")
+	}
+	maxIter := opts.MaxIter
+	if maxIter == 0 {
+		maxIter = 50
+	}
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	lam0 := opts.Damping
+	if lam0 == 0 {
+		lam0 = 1.0
+	}
+	minLam := opts.MinLam
+	if minLam == 0 {
+		minLam = 1e-4
+	}
+	fdStep := opts.FDStep
+	if fdStep == 0 {
+		fdStep = 1e-7
+	}
+
+	f := make([]float64, n)
+	ft := make([]float64, n)
+	J := make([]float64, n*n)
+	dx := make([]float64, n)
+	xt := make([]float64, n)
+	piv := make([]int, n)
+
+	if err := opts.Residual(x, f); err != nil {
+		return fmt.Errorf("numerics: residual at initial guess: %w", err)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		r0 := NormInf(f)
+		if r0 < tol {
+			return nil
+		}
+		if opts.Jacobian != nil {
+			if err := opts.Jacobian(x, J); err != nil {
+				return err
+			}
+		} else {
+			if err := fdJacobian(opts.Residual, x, f, J, fdStep); err != nil {
+				return err
+			}
+		}
+		copy(dx, f)
+		if err := SolveDenseInPlace(J, dx, piv, n); err != nil {
+			return fmt.Errorf("numerics: Newton Jacobian solve (iter %d): %w", iter, err)
+		}
+		if opts.MaxStep > 0 {
+			if s := NormInf(dx); s > opts.MaxStep {
+				scale := opts.MaxStep / s
+				for i := range dx {
+					dx[i] *= scale
+				}
+			}
+		}
+		// Backtracking line search: accept the first step that reduces |f|.
+		lam := lam0
+		accepted := false
+		for lam >= minLam {
+			for i := range x {
+				xt[i] = x[i] - lam*dx[i]
+			}
+			if err := opts.Residual(xt, ft); err == nil {
+				if NormInf(ft) < r0 || lam == minLam {
+					copy(x, xt)
+					copy(f, ft)
+					accepted = true
+					break
+				}
+			}
+			lam *= 0.5
+		}
+		if !accepted {
+			// Take the minimal step anyway to avoid stalling.
+			for i := range x {
+				xt[i] = x[i] - minLam*dx[i]
+			}
+			if err := opts.Residual(xt, ft); err != nil {
+				return fmt.Errorf("numerics: Newton stalled at iter %d: %w", iter, err)
+			}
+			copy(x, xt)
+			copy(f, ft)
+		}
+		if opts.Verbose {
+			fmt.Printf("newton iter %d: |f|=%.3e lam=%.3g\n", iter, NormInf(f), lam)
+		}
+	}
+	if NormInf(f) < tol*100 {
+		return nil // close enough: accept loosely converged solutions
+	}
+	return fmt.Errorf("numerics: Newton failed to converge (|f|=%.3e after %d iters)", NormInf(f), maxIter)
+}
+
+// fdJacobian fills J with a forward finite-difference approximation of df/dx.
+func fdJacobian(resid func(x, f []float64) error, x, f0, J []float64, rel float64) error {
+	n := len(x)
+	f := make([]float64, n)
+	for j := 0; j < n; j++ {
+		h := rel * (math.Abs(x[j]) + 1)
+		old := x[j]
+		x[j] = old + h
+		if err := resid(x, f); err != nil {
+			x[j] = old
+			return err
+		}
+		x[j] = old
+		inv := 1.0 / h
+		for i := 0; i < n; i++ {
+			J[i*n+j] = (f[i] - f0[i]) * inv
+		}
+	}
+	return nil
+}
+
+// Brent finds a root of f in [a,b] by Brent's method. f(a) and f(b) must
+// bracket a root. tol is the absolute x tolerance.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return 0, fmt.Errorf("numerics: Brent root not bracketed: f(%g)=%g f(%g)=%g", a, fa, b, fb)
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for i := 0; i < 200; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*math.SmallestNonzeroFloat64*math.Abs(b) + 0.5*tol
+		xm := 0.5 * (c - b)
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			if 2*p < math.Min(3*xm*q-math.Abs(tol1*q), math.Abs(e*q)) {
+				e, d = d, p/q
+			} else {
+				d = xm
+				e = d
+			}
+		} else {
+			d = xm
+			e = d
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else if xm > 0 {
+			b += tol1
+		} else {
+			b -= tol1
+		}
+		fb = f(b)
+		if (fb > 0) == (fc > 0) {
+			c, fc = a, fa
+			e = b - a
+			d = e
+		}
+	}
+	return b, fmt.Errorf("numerics: Brent exceeded iteration limit")
+}
+
+// Bisect finds a root of f in [a,b] by bisection; slower but unconditionally
+// robust. Used as a fallback by EOS inversions.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return 0, fmt.Errorf("numerics: bisection root not bracketed")
+	}
+	for i := 0; i < 200 && b-a > tol; i++ {
+		m := 0.5 * (a + b)
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if fa*fm < 0 {
+			b, fb = m, fm
+		} else {
+			a, fa = m, fm
+		}
+	}
+	return 0.5 * (a + b), nil
+}

@@ -1,0 +1,124 @@
+package numerics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewtonScalarQuadratic(t *testing.T) {
+	// f(x) = x^2 - 4 = 0, start at 3 -> x=2.
+	x := []float64{3}
+	err := NewtonSolve(x, NewtonOptions{
+		Residual: func(x, f []float64) error {
+			f[0] = x[0]*x[0] - 4
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-8 {
+		t.Errorf("x=%g want 2", x[0])
+	}
+}
+
+func TestNewtonSystemWithJacobian(t *testing.T) {
+	// x^2 + y^2 = 25, x - y = 1 -> x=4, y=3 (positive branch).
+	x := []float64{5, 2}
+	err := NewtonSolve(x, NewtonOptions{
+		Residual: func(x, f []float64) error {
+			f[0] = x[0]*x[0] + x[1]*x[1] - 25
+			f[1] = x[0] - x[1] - 1
+			return nil
+		},
+		Jacobian: func(x, J []float64) error {
+			J[0] = 2 * x[0]
+			J[1] = 2 * x[1]
+			J[2] = 1
+			J[3] = -1
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-4) > 1e-8 || math.Abs(x[1]-3) > 1e-8 {
+		t.Errorf("got (%g,%g) want (4,3)", x[0], x[1])
+	}
+}
+
+func TestNewtonRequiresResidual(t *testing.T) {
+	if err := NewtonSolve([]float64{1}, NewtonOptions{}); err == nil {
+		t.Fatal("expected error for missing residual")
+	}
+}
+
+func TestNewtonExponentialStiff(t *testing.T) {
+	// exp(x) = 1e6 -> x = ln(1e6); tests damping/line search.
+	x := []float64{0}
+	err := NewtonSolve(x, NewtonOptions{
+		MaxIter: 200,
+		Residual: func(x, f []float64) error {
+			f[0] = math.Exp(x[0]) - 1e6
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-math.Log(1e6)) > 1e-6 {
+		t.Errorf("x=%g want %g", x[0], math.Log(1e6))
+	}
+}
+
+func TestBrentRoots(t *testing.T) {
+	cases := []struct {
+		f    func(float64) float64
+		a, b float64
+		root float64
+	}{
+		{func(x float64) float64 { return x*x - 2 }, 0, 2, math.Sqrt2},
+		{func(x float64) float64 { return math.Cos(x) }, 0, 3, math.Pi / 2},
+		{func(x float64) float64 { return x }, -1, 1, 0},
+		{func(x float64) float64 { return math.Exp(x) - 5 }, 0, 4, math.Log(5)},
+	}
+	for i, c := range cases {
+		x, err := Brent(c.f, c.a, c.b, 1e-12)
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if math.Abs(x-c.root) > 1e-9 {
+			t.Errorf("case %d: got %g want %g", i, x, c.root)
+		}
+	}
+}
+
+func TestBrentNotBracketed(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-10); err == nil {
+		t.Fatal("expected bracket error")
+	}
+}
+
+func TestBrentEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x - 1 }
+	if x, err := Brent(f, 1, 2, 1e-12); err != nil || x != 1 {
+		t.Errorf("endpoint a root: x=%g err=%v", x, err)
+	}
+	if x, err := Brent(f, 0, 1, 1e-12); err != nil || x != 1 {
+		t.Errorf("endpoint b root: x=%g err=%v", x, err)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	x, err := Bisect(func(x float64) float64 { return x*x*x - 8 }, 0, 5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-2) > 1e-8 {
+		t.Errorf("x=%g want 2", x)
+	}
+	if _, err := Bisect(func(x float64) float64 { return 1.0 }, 0, 1, 1e-10); err == nil {
+		t.Fatal("expected bracket error")
+	}
+}

@@ -1,0 +1,153 @@
+// Package numerics provides the numerical kernels shared by every solver in
+// cataero: banded and dense linear solvers, Newton iteration, explicit and
+// stiff ODE integrators, interpolation, quadrature, exponential integrals and
+// scalar root finding. All routines operate on float64 slices and are
+// allocation-conscious so that inner solver loops can reuse workspaces.
+package numerics
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular is returned when a linear system is detected to be singular or
+// numerically indistinguishable from singular.
+var ErrSingular = errors.New("numerics: singular matrix")
+
+// SolveTridiag solves the tridiagonal system with sub-diagonal a, diagonal b,
+// super-diagonal c and right-hand side d using the Thomas algorithm.
+// a[0] and c[n-1] are ignored. The solution is written into x, which may
+// alias d. All slices must have length n >= 1.
+func SolveTridiag(a, b, c, d, x []float64) error {
+	n := len(b)
+	if len(a) != n || len(c) != n || len(d) != n || len(x) != n {
+		return fmt.Errorf("numerics: tridiag length mismatch (n=%d)", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	// Forward elimination with scratch storage for the modified coefficients.
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	if b[0] == 0 {
+		return ErrSingular
+	}
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		den := b[i] - a[i]*cp[i-1]
+		if den == 0 {
+			return ErrSingular
+		}
+		cp[i] = c[i] / den
+		dp[i] = (d[i] - a[i]*dp[i-1]) / den
+	}
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return nil
+}
+
+// TridiagWorkspace holds reusable scratch arrays for repeated tridiagonal
+// solves of the same size, avoiding per-solve allocation in relaxation loops.
+type TridiagWorkspace struct {
+	cp, dp []float64
+}
+
+// NewTridiagWorkspace returns a workspace for systems of size n.
+func NewTridiagWorkspace(n int) *TridiagWorkspace {
+	return &TridiagWorkspace{cp: make([]float64, n), dp: make([]float64, n)}
+}
+
+// Solve solves the tridiagonal system like SolveTridiag but reuses the
+// workspace scratch arrays.
+func (w *TridiagWorkspace) Solve(a, b, c, d, x []float64) error {
+	n := len(b)
+	if len(w.cp) < n {
+		w.cp = make([]float64, n)
+		w.dp = make([]float64, n)
+	}
+	cp, dp := w.cp[:n], w.dp[:n]
+	if n == 0 {
+		return nil
+	}
+	if b[0] == 0 {
+		return ErrSingular
+	}
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		den := b[i] - a[i]*cp[i-1]
+		if den == 0 {
+			return ErrSingular
+		}
+		cp[i] = c[i] / den
+		dp[i] = (d[i] - a[i]*dp[i-1]) / den
+	}
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return nil
+}
+
+// BlockTridiag solves a block-tridiagonal system with m×m blocks.
+// A, B, C are the sub-, main- and super-diagonal block rows stored as
+// n slices of m*m row-major matrices; D is the right-hand side of n blocks of
+// length m. The solution overwrites D. A[0] and C[n-1] are ignored.
+// The blocks are modified during the factorization.
+func BlockTridiag(A, B, C [][]float64, D [][]float64, m int) error {
+	n := len(B)
+	if len(A) != n || len(C) != n || len(D) != n {
+		return fmt.Errorf("numerics: block tridiag length mismatch (n=%d)", n)
+	}
+	lu := make([]float64, m*m)
+	piv := make([]int, m)
+	tmp := make([]float64, m)
+	tmpM := make([]float64, m*m)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			// B[i] -= A[i] * C[i-1]; D[i] -= A[i] * D[i-1]
+			matMulSub(B[i], A[i], C[i-1], m)
+			matVecSub(D[i], A[i], D[i-1], m)
+		}
+		copy(lu, B[i])
+		if err := luFactor(lu, piv, m); err != nil {
+			return err
+		}
+		// C[i] = B[i]^{-1} C[i], D[i] = B[i]^{-1} D[i]
+		if i < n-1 {
+			luSolveMat(lu, piv, C[i], tmpM, m)
+		}
+		luSolveVec(lu, piv, D[i], tmp, m)
+	}
+	for i := n - 2; i >= 0; i-- {
+		matVecSub(D[i], C[i], D[i+1], m)
+	}
+	return nil
+}
+
+// matMulSub computes B -= A*C for m×m row-major matrices.
+func matMulSub(B, A, C []float64, m int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			s := 0.0
+			for k := 0; k < m; k++ {
+				s += A[i*m+k] * C[k*m+j]
+			}
+			B[i*m+j] -= s
+		}
+	}
+}
+
+// matVecSub computes d -= A*e for an m×m matrix and length-m vectors.
+func matVecSub(d, A, e []float64, m int) {
+	for i := 0; i < m; i++ {
+		s := 0.0
+		for k := 0; k < m; k++ {
+			s += A[i*m+k] * e[k]
+		}
+		d[i] -= s
+	}
+}

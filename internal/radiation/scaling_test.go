@@ -1,0 +1,102 @@
+package radiation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cataero/internal/thermo"
+)
+
+// Property: emission is linear in the emitter number density (each band and
+// line scales with its species' population).
+func TestEmissionLinearInDensity(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	md := NewAirModel(m, 200)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := make([]float64, m.Len())
+		for i := range n {
+			n[i] = r.Float64() * 1e21
+		}
+		T := 6000 + r.Float64()*8000
+		j1 := make([]float64, len(md.LambdaNm))
+		j2 := make([]float64, len(md.LambdaNm))
+		md.Emission(n, T, T, j1)
+		n2 := make([]float64, len(n))
+		for i := range n {
+			n2[i] = 3 * n[i]
+		}
+		md.Emission(n2, T, T, j2)
+		for i := range j1 {
+			if j1[i] == 0 {
+				if j2[i] != 0 {
+					return false
+				}
+				continue
+			}
+			ratio := j2[i] / j1[i]
+			// Bands/lines scale linearly; the continuum term scales with
+			// n_e*n_ion (quadratic), so allow the ratio band [3, 9].
+			if ratio < 3-1e-9 || ratio > 9+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlabOrderIndependenceThin(t *testing.T) {
+	// In the optically thin limit the wall flux is independent of the layer
+	// ordering (no self-absorption).
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	md := NewAirModel(m, 150)
+	n1 := make([]float64, m.Len())
+	n2 := make([]float64, m.Len())
+	n1[thermo.AirN2], n1[thermo.AirN] = 1e19, 1e19
+	n2[thermo.AirN2], n2[thermo.AirN] = 5e18, 2e19
+	a := []Layer{
+		{Thickness: 1e-4, T: 8000, Tex: 8000, N: n1},
+		{Thickness: 1e-4, T: 10000, Tex: 10000, N: n2},
+	}
+	b := []Layer{a[1], a[0]}
+	qa := md.SolveSlab(a).QWall
+	qb := md.SolveSlab(b).QWall
+	if math.Abs(qa-qb) > 0.02*qa {
+		t.Errorf("thin-limit order dependence: %g vs %g", qa, qb)
+	}
+}
+
+func TestIntegrateSpectrumAgainstAnalytic(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	md := NewAirModel(m, 500)
+	// A single synthetic Gaussian of unit total power per steradian.
+	jl := make([]float64, len(md.LambdaNm))
+	md.addGaussian(jl, 700, 10, 1.0)
+	got := md.IntegrateSpectrum(jl)
+	if math.Abs(got-1) > 0.02 {
+		t.Errorf("Gaussian power integral %g want 1", got)
+	}
+}
+
+func TestPlanckWienDisplacement(t *testing.T) {
+	// Peak wavelength scales as 1/T.
+	peak := func(T float64) float64 {
+		best, bl := 0.0, 0.0
+		for l := 100e-9; l < 20e-6; l *= 1.01 {
+			if b := PlanckLambda(l, T); b > best {
+				best, bl = b, l
+			}
+		}
+		return bl
+	}
+	p1 := peak(3000)
+	p2 := peak(6000)
+	if math.Abs(p1/p2-2) > 0.1 {
+		t.Errorf("Wien scaling %g want 2", p1/p2)
+	}
+}

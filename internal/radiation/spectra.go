@@ -1,0 +1,262 @@
+// Package radiation implements the spectral emission/absorption model and
+// tangent-slab radiative transport of cataero: diatomic electronic band
+// systems (N2+ first negative, N2 first/second positive, NO beta/gamma, CN
+// violet/red, C2 Swan), atomic N/O line groups, a Kramers-like continuum,
+// Boltzmann excited-state populations at the excitation temperature (Tv in
+// the two-temperature model, the quasi-steady-state shortcut of the era's
+// NEQAIR-class codes), and wall-flux evaluation with exponential integrals.
+package radiation
+
+import (
+	"math"
+
+	"cataero/internal/thermo"
+)
+
+// Band is one vibrational band head of an electronic system.
+type Band struct {
+	LambdaNm float64 // band-head wavelength, nm
+	Frac     float64 // fraction of the system's total transition strength
+	WidthNm  float64 // smeared band width (Gaussian sigma), nm
+}
+
+// BandSystem is a diatomic electronic transition radiating a set of bands.
+type BandSystem struct {
+	Name    string
+	Species string  // emitting species
+	AEff    float64 // effective transition probability, 1/s
+	GU      float64 // upper-state degeneracy
+	ThetaU  float64 // upper-state excitation temperature, K
+	Bands   []Band
+}
+
+// Line is an atomic line group.
+type Line struct {
+	Name     string
+	Species  string
+	LambdaNm float64
+	A        float64 // transition probability, 1/s
+	GU       float64
+	ThetaU   float64 // upper-level excitation temperature, K
+	WidthNm  float64
+}
+
+// Model is a spectral emission model over a fixed wavelength grid.
+type Model struct {
+	Mix     *thermo.Mixture
+	Systems []BandSystem
+	Lines   []Line
+	// Continuum strength multiplier (Kramers-like free-bound+free-free).
+	ContinuumC float64
+	LambdaNm   []float64 // wavelength grid, nm
+	spIdx      map[string]int
+}
+
+// NewModel builds a model with nl wavelengths between lo and hi nm.
+func NewModel(m *thermo.Mixture, systems []BandSystem, lines []Line, lo, hi float64, nl int) *Model {
+	grid := make([]float64, nl)
+	for i := range grid {
+		grid[i] = lo + (hi-lo)*float64(i)/float64(nl-1)
+	}
+	idx := make(map[string]int)
+	for i, s := range m.Species {
+		idx[s.Name] = i
+	}
+	return &Model{
+		Mix: m, Systems: systems, Lines: lines,
+		ContinuumC: 1, LambdaNm: grid, spIdx: idx,
+	}
+}
+
+// NewAirModel returns the air radiation model (N2+, N2, NO systems; N, O
+// lines) over 200-1400 nm.
+func NewAirModel(m *thermo.Mixture, nl int) *Model {
+	systems := []BandSystem{
+		{
+			Name: "N2+ first negative", Species: "N2+",
+			AEff: 1.1e7, GU: 2, ThetaU: 36633,
+			Bands: []Band{
+				{391.4, 0.50, 6}, {427.8, 0.25, 6}, {470.9, 0.12, 7}, {358.2, 0.13, 6},
+			},
+		},
+		{
+			Name: "N2 second positive", Species: "N2",
+			AEff: 2.0e7, GU: 6, ThetaU: 127700, // C3Pi_u at ~11 eV
+			Bands: []Band{
+				{337.1, 0.40, 5}, {357.7, 0.25, 5}, {380.5, 0.18, 6}, {315.9, 0.17, 5},
+			},
+		},
+		{
+			Name: "N2 first positive", Species: "N2",
+			AEff: 1.3e5, GU: 6, ThetaU: 85600, // B3Pi_g at ~7.35 eV
+			Bands: []Band{
+				{662.4, 0.15, 20}, {775.3, 0.30, 25}, {891.2, 0.30, 30}, {1046.9, 0.25, 35},
+			},
+		},
+		{
+			Name: "NO beta+gamma", Species: "NO",
+			AEff: 4.0e6, GU: 2, ThetaU: 63300,
+			Bands: []Band{
+				{226.9, 0.35, 6}, {237.0, 0.25, 6}, {247.9, 0.22, 7}, {259.6, 0.18, 7},
+			},
+		},
+	}
+	lines := []Line{
+		{"N 746.8 triplet", "N", 746.8, 1.96e7, 6, 137800, 1.2},
+		{"N 821.6 group", "N", 821.6, 2.26e7, 10, 134000, 1.2},
+		{"N 868.0 group", "N", 868.0, 2.53e7, 10, 133300, 1.2},
+		{"O 777.3 triplet", "O", 777.3, 3.69e7, 15, 125300, 1.2},
+		{"O 844.6 triplet", "O", 844.6, 3.22e7, 9, 126400, 1.2},
+	}
+	return NewModel(m, systems, lines, 200, 1400, nl)
+}
+
+// NewTitanModel returns the Titan N2/CH4 shock-layer radiation model, where
+// CN violet dominates the heating (the paper's Titan probe discussion).
+func NewTitanModel(m *thermo.Mixture, nl int) *Model {
+	systems := []BandSystem{
+		{
+			Name: "CN violet", Species: "CN",
+			AEff: 1.5e7, GU: 2, ThetaU: 37050,
+			Bands: []Band{
+				{388.3, 0.55, 5}, {421.6, 0.22, 6}, {359.0, 0.23, 5},
+			},
+		},
+		{
+			Name: "CN red", Species: "CN",
+			AEff: 5.0e5, GU: 4, ThetaU: 13300,
+			Bands: []Band{
+				{787.0, 0.35, 20}, {914.0, 0.35, 25}, {1090.0, 0.30, 30},
+			},
+		},
+		{
+			Name: "C2 Swan", Species: "C2",
+			AEff: 7.0e6, GU: 6, ThetaU: 27900,
+			Bands: []Band{
+				{516.5, 0.45, 8}, {473.7, 0.25, 8}, {563.5, 0.30, 9},
+			},
+		},
+		{
+			Name: "N2 first positive", Species: "N2",
+			AEff: 1.3e5, GU: 6, ThetaU: 85600,
+			Bands: []Band{
+				{775.3, 0.5, 25}, {891.2, 0.5, 30},
+			},
+		},
+	}
+	var lines []Line
+	return NewModel(m, systems, lines, 200, 1400, nl)
+}
+
+// PlanckLambda returns the Planck spectral radiance B_lambda(T) in
+// W/(m^2 sr m) for wavelength lambda in meters.
+func PlanckLambda(lambdaM, T float64) float64 {
+	if T <= 0 || lambdaM <= 0 {
+		return 0
+	}
+	c1 := 2 * thermo.Planck * thermo.LightC * thermo.LightC
+	x := thermo.Planck * thermo.LightC / (lambdaM * thermo.KB * T)
+	if x > 700 {
+		return 0
+	}
+	return c1 / math.Pow(lambdaM, 5) / (math.Exp(x) - 1)
+}
+
+// Emission fills jl (len = len(LambdaNm)) with the spectral emission
+// coefficient j_lambda in W/(m^3 sr m) for number densities n (1/m^3, one
+// per mixture species), heavy temperature T and excitation temperature Tex
+// (equal to T in equilibrium, Tv in the two-temperature model).
+func (md *Model) Emission(n []float64, T, Tex float64, jl []float64) {
+	for i := range jl {
+		jl[i] = 0
+	}
+	hc := thermo.Planck * thermo.LightC
+	for _, sys := range md.Systems {
+		si, ok := md.spIdx[sys.Species]
+		if !ok || n[si] <= 0 {
+			continue
+		}
+		sp := md.Mix.Species[si]
+		qel := sp.QElec(Tex)
+		x := sys.ThetaU / Tex
+		if x > 400 {
+			continue
+		}
+		nU := n[si] * sys.GU * math.Exp(-x) / qel
+		for _, b := range sys.Bands {
+			// Total band power per volume: n_u A (hc/lambda) Frac / 4pi,
+			// distributed over a Gaussian in wavelength.
+			lm := b.LambdaNm * 1e-9
+			p := nU * sys.AEff * b.Frac * hc / lm / (4 * math.Pi)
+			md.addGaussian(jl, b.LambdaNm, b.WidthNm, p)
+		}
+	}
+	for _, ln := range md.Lines {
+		si, ok := md.spIdx[ln.Species]
+		if !ok || n[si] <= 0 {
+			continue
+		}
+		sp := md.Mix.Species[si]
+		qel := sp.QElec(Tex)
+		x := ln.ThetaU / Tex
+		if x > 400 {
+			continue
+		}
+		nU := n[si] * ln.GU * math.Exp(-x) / qel
+		lm := ln.LambdaNm * 1e-9
+		p := nU * ln.A * hc / lm / (4 * math.Pi)
+		md.addGaussian(jl, ln.LambdaNm, ln.WidthNm, p)
+	}
+	// Continuum: Kramers-like recombination/brems with electron-ion pairs
+	// (air) or thermal continuum scale (neutral gas): emissivity proportional
+	// to n_e * n_ion with exp(-hc/lambda k T) spectral shape.
+	if md.ContinuumC > 0 {
+		ne := 0.0
+		nion := 0.0
+		for i, sp := range md.Mix.Species {
+			if sp.Name == "e-" {
+				ne = n[i]
+			} else if sp.Charge > 0 {
+				nion += n[i]
+			}
+		}
+		if ne > 0 && nion > 0 && T > 0 {
+			cff := 5.4e-52 * md.ContinuumC // tuned Kramers constant
+			base := cff * ne * nion / math.Sqrt(T)
+			for i, lnm := range md.LambdaNm {
+				lm := lnm * 1e-9
+				x := hc / (lm * thermo.KB * T)
+				if x < 500 {
+					jl[i] += base * math.Exp(-x) / (lm * lm)
+				}
+			}
+		}
+	}
+}
+
+// addGaussian spreads total power p (W/(m^3 sr)) as a Gaussian of center c
+// and sigma w (both nm) across the wavelength grid, in per-meter units.
+func (md *Model) addGaussian(jl []float64, c, w, p float64) {
+	if w <= 0 {
+		w = 1
+	}
+	norm := p / (w * 1e-9 * math.Sqrt(2*math.Pi))
+	for i, l := range md.LambdaNm {
+		d := (l - c) / w
+		if d > 5 || d < -5 {
+			continue
+		}
+		jl[i] += norm * math.Exp(-0.5*d*d)
+	}
+}
+
+// IntegrateSpectrum returns the wavelength-integrated radiance
+// (W/(m^3 sr)) of a spectral distribution on the model grid.
+func (md *Model) IntegrateSpectrum(jl []float64) float64 {
+	s := 0.0
+	for i := 1; i < len(jl); i++ {
+		dl := (md.LambdaNm[i] - md.LambdaNm[i-1]) * 1e-9
+		s += 0.5 * (jl[i] + jl[i-1]) * dl
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package shock
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cataero/internal/chem"
+	"cataero/internal/thermo"
+)
+
+// Property: across a frozen shock, for random supersonic Mach numbers, the
+// entropy increases and the downstream Mach number is subsonic.
+func TestFrozenShockSecondLaw(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	y := thermo.AirFreestreamMassFractions(m.Species)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		T1 := 200 + r.Float64()*100
+		p1 := 10 + r.Float64()*1e4
+		a1 := m.SoundSpeedFrozen(T1, y)
+		mach := 1.2 + r.Float64()*15
+		u1 := mach * a1
+		st, err := FrozenJump(m, y, p1, T1, u1)
+		if err != nil {
+			return false
+		}
+		s1 := m.Entropy(T1, p1, y)
+		s2 := m.Entropy(st.T, st.P, y)
+		if s2 <= s1 {
+			return false
+		}
+		a2 := m.SoundSpeedFrozen(st.T, y)
+		return st.U < a2 // subsonic downstream
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(77))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ideal-jump ratios are monotone in Mach number.
+func TestIdealJumpMonotonicity(t *testing.T) {
+	prevP, prevRho := 0.0, 0.0
+	for mach := 1.1; mach < 30; mach += 0.7 {
+		rhoR, pR, _, m2, err := IdealJump(1.4, mach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pR <= prevP || rhoR <= prevRho {
+			t.Fatalf("ratios not monotone at M=%g", mach)
+		}
+		if m2 >= 1 {
+			t.Fatalf("downstream supersonic at M=%g", mach)
+		}
+		prevP, prevRho = pR, rhoR
+	}
+}
+
+// The equilibrium jump conserves mass, momentum and energy exactly.
+func TestEquilibriumJumpConservation(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	eq := newEqSolver(m)
+	y0 := thermo.AirFreestreamMassFractions(m.Species)
+	p1, T1, u1 := 50.0, 230.0, 6000.0
+	st, err := EquilibriumJump(eq, y0, p1, T1, u1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho1 := m.Density(p1, T1, y0)
+	if math.Abs(rho1*u1-st.Rho*st.U) > 1e-6*rho1*u1 {
+		t.Error("mass flux violated")
+	}
+	mom1 := p1 + rho1*u1*u1
+	mom2 := st.P + st.Rho*st.U*st.U
+	if math.Abs(mom1-mom2) > 1e-5*mom1 {
+		t.Errorf("momentum violated: %g vs %g", mom1, mom2)
+	}
+	h1 := m.Enthalpy(T1, y0)
+	if math.Abs((h1+0.5*u1*u1)-(st.H+0.5*st.U*st.U)) > 1e-5*(h1+0.5*u1*u1) {
+		t.Error("energy violated")
+	}
+	// Downstream enthalpy is consistent with the downstream composition.
+	hGot := m.Enthalpy(st.T, st.Y)
+	if math.Abs(hGot-st.H) > 2e-3*math.Abs(st.H) {
+		t.Errorf("composition/enthalpy inconsistent: %g vs %g", hGot, st.H)
+	}
+}
+
+// Equilibrium density ratio grows with flight speed (more dissociation).
+func TestEquilibriumRatioGrowsWithSpeed(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	eq := newEqSolver(m)
+	y0 := thermo.AirFreestreamMassFractions(m.Species)
+	rho1 := m.Density(30, 220, y0)
+	prev := 0.0
+	for _, u := range []float64{3000, 5000, 7000, 9000} {
+		st, err := EquilibriumJump(eq, y0, 30, 220, u)
+		if err != nil {
+			t.Fatalf("u=%g: %v", u, err)
+		}
+		r := st.Rho / rho1
+		if r <= prev {
+			t.Errorf("density ratio not growing at u=%g: %g after %g", u, r, prev)
+		}
+		prev = r
+	}
+}
+
+// newEqSolver is a small helper so property tests read cleanly.
+func newEqSolver(m *thermo.Mixture) *chem.EquilibriumSolver {
+	return chem.NewEquilibriumSolver(m)
+}

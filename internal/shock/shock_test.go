@@ -1,0 +1,152 @@
+package shock
+
+import (
+	"math"
+	"testing"
+
+	"cataero/internal/chem"
+	"cataero/internal/thermo"
+)
+
+func TestIdealJumpTextbook(t *testing.T) {
+	// M=2, gamma=1.4: rho2/rho1=2.6667, p2/p1=4.5, M2=0.5774.
+	rhoR, pR, tR, m2, err := IdealJump(1.4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rhoR-2.66667) > 1e-4 {
+		t.Errorf("rhoR=%g want 2.667", rhoR)
+	}
+	if math.Abs(pR-4.5) > 1e-9 {
+		t.Errorf("pR=%g want 4.5", pR)
+	}
+	if math.Abs(tR-4.5/2.66667) > 1e-4 {
+		t.Errorf("tR=%g", tR)
+	}
+	if math.Abs(m2-0.57735) > 1e-4 {
+		t.Errorf("M2=%g want 0.577", m2)
+	}
+	// Strong-shock limit: density ratio -> (g+1)/(g-1) = 6.
+	rhoR, _, _, _, _ = IdealJump(1.4, 50)
+	if math.Abs(rhoR-6) > 0.02 {
+		t.Errorf("strong-shock rhoR=%g want ~6", rhoR)
+	}
+	if _, _, _, _, err := IdealJump(1.4, 0.8); err == nil {
+		t.Error("subsonic Mach accepted")
+	}
+}
+
+func TestFrozenJumpConservation(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	y := thermo.AirFreestreamMassFractions(m.Species)
+	p1, T1, u1 := 100.0, 250.0, 5000.0
+	st, err := FrozenJump(m, y, p1, T1, u1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho1 := m.Density(p1, T1, y)
+	h1 := m.Enthalpy(T1, y)
+	// Verify Rankine-Hugoniot conservation.
+	if math.Abs(rho1*u1-st.Rho*st.U) > 1e-8*rho1*u1 {
+		t.Errorf("mass flux mismatch")
+	}
+	mom1 := p1 + rho1*u1*u1
+	mom2 := st.P + st.Rho*st.U*st.U
+	if math.Abs(mom1-mom2) > 1e-6*mom1 {
+		t.Errorf("momentum mismatch %g vs %g", mom1, mom2)
+	}
+	h01 := h1 + 0.5*u1*u1
+	h02 := st.H + 0.5*st.U*st.U
+	if math.Abs(h01-h02) > 1e-6*math.Abs(h01) {
+		t.Errorf("total enthalpy mismatch")
+	}
+	// Entropy must increase across a shock.
+	if st.T <= T1 || st.P <= p1 {
+		t.Errorf("downstream not compressed: T=%g p=%g", st.T, st.P)
+	}
+}
+
+func TestFrozenJumpVsIdealAtLowSpeed(t *testing.T) {
+	// At M~2 with cold air, vibration is frozen and the full jump matches
+	// the gamma=1.4 ideal result closely.
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	y := thermo.AirFreestreamMassFractions(m.Species)
+	T1, p1 := 250.0, 1000.0
+	a1 := m.SoundSpeedFrozen(T1, y)
+	u1 := 2 * a1
+	st, err := FrozenJump(m, y, p1, T1, u1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pR, tR, _, _ := IdealJump(1.4, 2)
+	if math.Abs(st.P/p1-pR) > 0.05*pR {
+		t.Errorf("p ratio %g want ~%g", st.P/p1, pR)
+	}
+	if math.Abs(st.T/T1-tR) > 0.05*tR {
+		t.Errorf("T ratio %g want ~%g", st.T/T1, tR)
+	}
+}
+
+func TestEquilibriumJumpDensityRatioExceedsFrozen(t *testing.T) {
+	// The signature real-gas effect: dissociation absorbs energy, cooling
+	// the downstream gas and raising the density ratio far beyond 6.
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	eq := chem.NewEquilibriumSolver(m)
+	y0 := thermo.AirFreestreamMassFractions(m.Species)
+	p1, T1, u1 := 30.0, 220.0, 7000.0 // ~65 km, 7 km/s
+	stF, err := FrozenJump(m, y0, p1, T1, u1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stE, err := EquilibriumJump(eq, y0, p1, T1, u1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho1 := m.Density(p1, T1, y0)
+	frozenRatio := stF.Rho / rho1
+	eqRatio := stE.Rho / rho1
+	if eqRatio < frozenRatio*1.2 {
+		t.Errorf("equilibrium density ratio %g should exceed frozen %g by >20%%", eqRatio, frozenRatio)
+	}
+	if eqRatio < 9 || eqRatio > 20 {
+		t.Errorf("equilibrium density ratio %g outside hypersonic band (9-20)", eqRatio)
+	}
+	// Equilibrium temperature well below frozen.
+	if stE.T > 0.8*stF.T {
+		t.Errorf("equilibrium T=%g not much cooler than frozen %g", stE.T, stF.T)
+	}
+	// Downstream composition dissociated.
+	xN2 := stE.Y[thermo.AirN2]
+	if xN2 > 0.6 {
+		t.Errorf("N2 mass fraction %g should have dropped", xN2)
+	}
+}
+
+func TestStagnationStates(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	eq := chem.NewEquilibriumSolver(m)
+	y0 := thermo.AirFreestreamMassFractions(m.Species)
+	p1, T1, u1 := 30.0, 220.0, 6700.0
+	se, err := StagnationEquilibrium(eq, y0, p1, T1, u1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total enthalpy dominated by kinetic energy.
+	h0 := m.Enthalpy(T1, y0) + 0.5*u1*u1
+	if math.Abs(se.H-h0) > 1e-6*h0 {
+		t.Errorf("stagnation enthalpy %g want %g", se.H, h0)
+	}
+	// Stagnation pressure close to rho1 u1^2 (hypersonic Newtonian limit).
+	rho1 := m.Density(p1, T1, y0)
+	if se.P < 0.8*rho1*u1*u1 || se.P > 1.1*rho1*u1*u1 {
+		t.Errorf("stagnation pressure %g vs rho1 u1^2 = %g", se.P, rho1*u1*u1)
+	}
+	// Frozen stagnation temperature far above equilibrium.
+	sf, err := StagnationFrozen(m, y0, p1, T1, u1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.T < se.T*1.3 {
+		t.Errorf("frozen stagnation T=%g should exceed equilibrium %g strongly", sf.T, se.T)
+	}
+}

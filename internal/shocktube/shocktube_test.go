@@ -1,0 +1,177 @@
+package shocktube
+
+import (
+	"math"
+	"testing"
+
+	"cataero/internal/chem"
+	"cataero/internal/thermo"
+)
+
+func park10kmCase(t *testing.T) Problem {
+	t.Helper()
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	mech, err := chem.AirMechanism(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Problem{
+		Mix: m, Mech: mech,
+		P1: 13.0, T1: 300, U1: 10000, // 0.1 torr, 10 km/s: the paper's Fig. 7
+		Y1:   thermo.AirFreestreamMassFractions(m.Species),
+		XEnd: 0.05, NOut: 120,
+	}
+}
+
+func TestFrozenVibJumpStrongShock(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	y := thermo.AirFreestreamMassFractions(m.Species)
+	rho2, u2, p2, T2, err := FrozenVibJump(m, y, 13, 300, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With only translation+rotation active the frozen temperature is huge:
+	// T2 ~ u1^2/(2 cpTR) ~ 5e7/2010 ~ 50000 K scale.
+	if T2 < 35000 || T2 > 70000 {
+		t.Errorf("frozen T2=%g outside band", T2)
+	}
+	// Density ratio near the gamma=1.4 strong-shock limit of 6 (rotation
+	// fully excited, vibration frozen).
+	rho1 := m.Density(13, 300, y)
+	if r := rho2 / rho1; r < 5 || r > 7 {
+		t.Errorf("frozen density ratio %g want ~6", r)
+	}
+	// Conservation.
+	if math.Abs(rho2*u2-rho1*10000) > 1e-6*rho1*10000 {
+		t.Error("mass flux violated")
+	}
+	mom1 := 13 + rho1*1e8
+	mom2 := p2 + rho2*u2*u2
+	if math.Abs(mom1-mom2) > 1e-6*mom1 {
+		t.Error("momentum violated")
+	}
+}
+
+func TestRelaxationProfileShape(t *testing.T) {
+	// The Fig. 7 physics: T starts very high and falls; Tv starts cold and
+	// rises; they meet at a common relaxed value; N2 dissociates.
+	prob := park10kmCase(t)
+	prof, err := Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(prof.X)
+	if n < 50 {
+		t.Fatalf("too few stations: %d", n)
+	}
+	if prof.T[0] < 35000 {
+		t.Errorf("initial T=%g should be the frozen jump", prof.T[0])
+	}
+	if prof.Tv[0] > 1000 {
+		t.Errorf("initial Tv=%g should be cold", prof.Tv[0])
+	}
+	// Tv must lag T everywhere (within tolerance as they merge).
+	for i := 0; i < n; i++ {
+		if prof.Tv[i] > prof.T[i]*1.1+200 {
+			t.Errorf("Tv=%g overtakes T=%g at x=%g", prof.Tv[i], prof.T[i], prof.X[i])
+		}
+	}
+	// Temperatures converge by the end of the domain.
+	last := n - 1
+	if math.Abs(prof.T[last]-prof.Tv[last]) > 0.2*prof.T[last] {
+		t.Errorf("T=%g and Tv=%g have not merged", prof.T[last], prof.Tv[last])
+	}
+	// T decays overall, Tv rises overall.
+	if prof.T[last] > 0.5*prof.T[0] {
+		t.Errorf("T failed to relax: %g -> %g", prof.T[0], prof.T[last])
+	}
+	if prof.Tv[last] < 4000 {
+		t.Errorf("Tv failed to excite: %g", prof.Tv[last])
+	}
+	// N2 dissociates substantially at 10 km/s.
+	iN2 := thermo.AirN2
+	if prof.Y[last][iN2] > 0.5*prof.Y[0][iN2] {
+		t.Errorf("N2 did not dissociate: %g -> %g", prof.Y[0][iN2], prof.Y[last][iN2])
+	}
+	// Ionization appears (the 'ionizing air' part of Fig. 7).
+	if prof.Y[last][thermo.AirE] <= 0 {
+		t.Error("no electrons produced")
+	}
+}
+
+func TestRelaxationApproachesEquilibrium(t *testing.T) {
+	prob := park10kmCase(t)
+	prob.XEnd = 0.3 // long domain to let the tail settle
+	prob.NOut = 80
+	prof, err := Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := chem.NewEquilibriumSolver(prob.Mix)
+	Teq, yEq, err := EquilibriumTail(eq, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(prof.X) - 1
+	if math.Abs(prof.T[last]-Teq) > 0.12*Teq {
+		t.Errorf("tail T=%g vs equilibrium %g", prof.T[last], Teq)
+	}
+	// Major species approach equilibrium.
+	for _, idx := range []int{thermo.AirN2, thermo.AirN, thermo.AirO} {
+		if yEq[idx] > 0.02 {
+			rel := math.Abs(prof.Y[last][idx]-yEq[idx]) / yEq[idx]
+			if rel > 0.3 {
+				t.Errorf("species %s: tail %g vs equilibrium %g",
+					prob.Mix.Species[idx].Name, prof.Y[last][idx], yEq[idx])
+			}
+		}
+	}
+}
+
+func TestMassFractionsStaySane(t *testing.T) {
+	prob := park10kmCase(t)
+	prof, err := Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ys := range prof.Y {
+		sum := 0.0
+		for _, v := range ys {
+			if v < -1e-6 || math.IsNaN(v) {
+				t.Fatalf("station %d: bad mass fraction %g", i, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("station %d: mass fractions sum %g", i, sum)
+		}
+	}
+}
+
+func TestPressureNearlyConstant(t *testing.T) {
+	// Behind a strong shock the relaxation zone is nearly isobaric: p varies
+	// by only ~10-20% while T drops by 4x.
+	prob := park10kmCase(t)
+	prof, err := Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := prof.P[0]
+	for i, p := range prof.P {
+		if math.Abs(p-p0) > 0.25*p0 {
+			t.Errorf("station %d: p=%g deviates from %g", i, p, p0)
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	mech, _ := chem.AirMechanism(m)
+	if _, err := Solve(Problem{Mix: m, Mech: mech, P1: 13, T1: 300, U1: 1e4}); err == nil {
+		t.Error("missing composition accepted")
+	}
+	if _, err := Solve(Problem{Mix: m, Mech: mech, P1: 13, T1: 300, U1: 1e4,
+		Y1: thermo.AirFreestreamMassFractions(m.Species)}); err == nil {
+		t.Error("zero XEnd accepted")
+	}
+}

@@ -1,0 +1,25 @@
+// Package thermo provides the high-temperature thermodynamic substrate of
+// cataero: a species database for dissociating and ionizing air and for the
+// Titan N2/CH4 atmosphere, rigid-rotor/harmonic-oscillator (RRHO) statistical
+// thermodynamics with electronic levels, per-unit-volume partition functions
+// (shared by the Gibbs equilibrium solver and kinetic equilibrium constants),
+// two-temperature energy bookkeeping, and Millikan-White/Park vibrational
+// relaxation times.
+//
+// Conventions: SI units throughout. Specific (per-mass) quantities are J/kg;
+// molar masses are kg/mol; temperatures K; pressures Pa. Formation enthalpies
+// are referenced to 0 K.
+package thermo
+
+// Physical constants (CODATA-era values; SI).
+const (
+	Ru      = 8.314462618     // universal gas constant, J/(mol K)
+	KB      = 1.380649e-23    // Boltzmann constant, J/K
+	NA      = 6.02214076e23   // Avogadro number, 1/mol
+	Planck  = 6.62607015e-34  // Planck constant, J s
+	LightC  = 2.99792458e8    // speed of light, m/s
+	ECharge = 1.602176634e-19 // elementary charge, C (used for eV conversions)
+	EVtoK   = 11604.518       // 1 eV expressed as a temperature, K
+	AtmPa   = 101325.0        // standard atmosphere, Pa
+	SigmaSB = 5.670374419e-8  // Stefan-Boltzmann constant, W/(m^2 K^4)
+)

@@ -1,0 +1,172 @@
+package thermo
+
+// Titan atmosphere species database: the C/H/N system produced by shock
+// heating an N2/CH4 atmosphere (the Titan probe entry of the paper's Fig. 2
+// and 3). Thirteen neutral species cover the dominant equilibrium
+// composition from ambient conditions to ~20000 K: N2, CH4, H2, H, C, N,
+// CN, HCN, C2H2, C2, CH, NH, C3. Characteristic temperatures and formation
+// enthalpies are RRHO values assembled from standard spectroscopic constants
+// (converted from cm^-1: Theta[K] = 1.4388 * omega[cm^-1]).
+
+// Named indices into the Titan species set returned by TitanSpecies.
+const (
+	TiN2 = iota
+	TiCH4
+	TiH2
+	TiH
+	TiC
+	TiN
+	TiCN
+	TiHCN
+	TiC2H2
+	TiC2
+	TiCH
+	TiNH
+	TiC3
+	NTitan
+)
+
+var titanTable = []Species{
+	{
+		Name: "N2", W: 28.0134e-3, Hf0: 0, Rotor: Linear,
+		ThetaR: [3]float64{2.88}, Sigma: 2,
+		Vib:     []VibMode{{Theta: 3392, G: 1}},
+		Elec:    []ElecLevel{{G: 1, Theta: 0}},
+		Elems:   map[string]int{"N": 2},
+		LJSigma: 3.798e-10, LJEps: 71.4,
+	},
+	{
+		Name: "CH4", W: 12.0107e-3 + 4*1.00794e-3, Hf0: -4.153e6, Rotor: Nonlinear,
+		ThetaR: [3]float64{7.54, 7.54, 7.54}, Sigma: 12,
+		Vib: []VibMode{
+			{Theta: 4196, G: 1}, {Theta: 2207, G: 2},
+			{Theta: 4343, G: 3}, {Theta: 1879, G: 3},
+		},
+		Elec:    []ElecLevel{{G: 1, Theta: 0}},
+		Elems:   map[string]int{"C": 1, "H": 4},
+		LJSigma: 3.758e-10, LJEps: 148.6,
+	},
+	{
+		Name: "H2", W: 2 * 1.00794e-3, Hf0: 0, Rotor: Linear,
+		ThetaR: [3]float64{87.53}, Sigma: 2,
+		Vib:     []VibMode{{Theta: 6338, G: 1}},
+		Elec:    []ElecLevel{{G: 1, Theta: 0}},
+		Elems:   map[string]int{"H": 2},
+		LJSigma: 2.827e-10, LJEps: 59.7,
+	},
+	{
+		Name: "H", W: 1.00794e-3, Hf0: 2.1433e8, Rotor: Atom,
+		Elec:    []ElecLevel{{G: 2, Theta: 0}},
+		Elems:   map[string]int{"H": 1},
+		LJSigma: 2.708e-10, LJEps: 37,
+	},
+	{
+		Name: "C", W: 12.0107e-3, Hf0: 5.9213e7, Rotor: Atom,
+		Elec: []ElecLevel{
+			{G: 1, Theta: 0}, {G: 3, Theta: 23.6}, {G: 5, Theta: 62.4},
+			{G: 5, Theta: 14665}, {G: 1, Theta: 31147},
+		},
+		Elems:   map[string]int{"C": 1},
+		LJSigma: 3.385e-10, LJEps: 30.6,
+	},
+	{
+		Name: "N", W: 14.0067e-3, Hf0: 3.3747e7, Rotor: Atom,
+		Elec:    []ElecLevel{{G: 4, Theta: 0}, {G: 10, Theta: 27658}, {G: 6, Theta: 41495}},
+		Elems:   map[string]int{"N": 1},
+		LJSigma: 3.298e-10, LJEps: 71.4,
+	},
+	{
+		Name: "CN", W: 12.0107e-3 + 14.0067e-3, Hf0: 1.6724e7, Rotor: Linear,
+		ThetaR: [3]float64{2.72}, Sigma: 1,
+		Vib: []VibMode{{Theta: 2976, G: 1}},
+		// B2Sigma+ at 25752 cm^-1 is the CN violet upper state; A2Pi at
+		// 9245 cm^-1 the red system upper state.
+		Elec:    []ElecLevel{{G: 2, Theta: 0}, {G: 4, Theta: 13300}, {G: 2, Theta: 37050}},
+		Elems:   map[string]int{"C": 1, "N": 1},
+		LJSigma: 3.856e-10, LJEps: 75,
+	},
+	{
+		Name: "HCN", W: 12.0107e-3 + 1.00794e-3 + 14.0067e-3, Hf0: 4.925e6, Rotor: Linear,
+		ThetaR: [3]float64{2.13}, Sigma: 1,
+		Vib: []VibMode{
+			{Theta: 3017, G: 1}, {Theta: 1026, G: 2}, {Theta: 4764, G: 1},
+		},
+		Elec:    []ElecLevel{{G: 1, Theta: 0}},
+		Elems:   map[string]int{"C": 1, "H": 1, "N": 1},
+		LJSigma: 3.63e-10, LJEps: 569.1,
+	},
+	{
+		Name: "C2H2", W: 2*12.0107e-3 + 2*1.00794e-3, Hf0: 8.787e6, Rotor: Linear,
+		ThetaR: [3]float64{1.693}, Sigma: 2,
+		Vib: []VibMode{
+			{Theta: 4853, G: 1}, {Theta: 2840, G: 1}, {Theta: 4730, G: 1},
+			{Theta: 881, G: 2}, {Theta: 1049, G: 2},
+		},
+		Elec:    []ElecLevel{{G: 1, Theta: 0}},
+		Elems:   map[string]int{"C": 2, "H": 2},
+		LJSigma: 4.033e-10, LJEps: 231.8,
+	},
+	{
+		Name: "C2", W: 2 * 12.0107e-3, Hf0: 3.4144e7, Rotor: Linear,
+		ThetaR: [3]float64{2.59}, Sigma: 2,
+		Vib: []VibMode{{Theta: 2669, G: 1}},
+		// a3Pi_u lies only ~1040 K above the ground state; d3Pi_g at
+		// ~27900 K is the Swan-band upper state.
+		Elec:    []ElecLevel{{G: 1, Theta: 0}, {G: 6, Theta: 1040}, {G: 6, Theta: 27900}},
+		Elems:   map[string]int{"C": 2},
+		LJSigma: 3.913e-10, LJEps: 78.8,
+	},
+	{
+		Name: "CH", W: 12.0107e-3 + 1.00794e-3, Hf0: 4.5512e7, Rotor: Linear,
+		ThetaR: [3]float64{20.8}, Sigma: 1,
+		Vib:     []VibMode{{Theta: 4116, G: 1}},
+		Elec:    []ElecLevel{{G: 4, Theta: 0}},
+		Elems:   map[string]int{"C": 1, "H": 1},
+		LJSigma: 3.37e-10, LJEps: 68.6,
+	},
+	{
+		Name: "NH", W: 14.0067e-3 + 1.00794e-3, Hf0: 2.3896e7, Rotor: Linear,
+		ThetaR: [3]float64{24.2}, Sigma: 1,
+		Vib:     []VibMode{{Theta: 4722, G: 1}},
+		Elec:    []ElecLevel{{G: 3, Theta: 0}},
+		Elems:   map[string]int{"N": 1, "H": 1},
+		LJSigma: 3.312e-10, LJEps: 65.3,
+	},
+	{
+		Name: "C3", W: 3 * 12.0107e-3, Hf0: 2.318e7, Rotor: Linear,
+		ThetaR: [3]float64{0.62}, Sigma: 2,
+		Vib: []VibMode{
+			{Theta: 1761, G: 1}, {Theta: 91, G: 2}, {Theta: 2935, G: 1},
+		},
+		Elec:    []ElecLevel{{G: 1, Theta: 0}},
+		Elems:   map[string]int{"C": 3},
+		LJSigma: 4.2e-10, LJEps: 90,
+	},
+}
+
+// TitanSpecies returns the 13-species Titan C/H/N set.
+func TitanSpecies() []*Species {
+	out := make([]*Species, len(titanTable))
+	for i := range titanTable {
+		s := titanTable[i]
+		out[i] = &s
+	}
+	return out
+}
+
+// TitanFreestreamMassFractions returns the ambient Titan atmosphere
+// composition by mass for a given species list. The organic-haze era
+// estimate used for probe studies: ~95% N2, 5% CH4 by mole, converted to
+// mass fractions (N2 0.971, CH4 0.029).
+func TitanFreestreamMassFractions(species []*Species) []float64 {
+	y := make([]float64, len(species))
+	for i, s := range species {
+		switch s.Name {
+		case "N2":
+			y[i] = 0.971
+		case "CH4":
+			y[i] = 0.029
+		}
+	}
+	return y
+}

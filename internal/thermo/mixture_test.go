@@ -1,0 +1,225 @@
+package thermo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func airMix() (*Mixture, []float64) {
+	m := NewMixture(AirSpecies11())
+	return m, AirFreestreamMassFractions(m.Species)
+}
+
+func TestMeanWAir(t *testing.T) {
+	m, y := airMix()
+	// Standard air: ~28.85e-3 kg/mol for the 0.767/0.233 N2/O2 split.
+	w := m.MeanW(y)
+	if math.Abs(w-28.85e-3) > 0.1e-3 {
+		t.Errorf("MeanW=%g want ~28.85e-3", w)
+	}
+	// R ~ 288 J/(kg K).
+	if r := m.R(y); math.Abs(r-288.2) > 1.5 {
+		t.Errorf("R=%g want ~288", r)
+	}
+}
+
+func TestMoleMassFractionRoundTrip(t *testing.T) {
+	m, y := airMix()
+	x := m.MoleFractions(y)
+	y2 := m.MassFractions(x)
+	for i := range y {
+		if math.Abs(y[i]-y2[i]) > 1e-12 {
+			t.Errorf("round trip species %d: %g vs %g", i, y[i], y2[i])
+		}
+	}
+	// Mole fractions sum to 1.
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("mole fractions sum %g", sum)
+	}
+}
+
+// Property: for random compositions, conversions preserve normalization.
+func TestFractionConversionProperty(t *testing.T) {
+	m, _ := airMix()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		y := make([]float64, m.Len())
+		for i := range y {
+			y[i] = r.Float64()
+		}
+		Normalize(y)
+		x := m.MoleFractions(y)
+		sum := 0.0
+		for _, v := range x {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaAirCold(t *testing.T) {
+	m, y := airMix()
+	// Cold air: gamma = 1.4.
+	g := m.GammaFrozen(300, y)
+	if math.Abs(g-1.4) > 0.01 {
+		t.Errorf("gamma(300K)=%g want 1.4", g)
+	}
+	// Hot air with vibration: gamma drops toward ~1.3.
+	gHot := m.GammaFrozen(3000, y)
+	if gHot >= g || gHot < 1.25 {
+		t.Errorf("gamma(3000K)=%g should be in (1.25,%g)", gHot, g)
+	}
+}
+
+func TestSoundSpeedAir(t *testing.T) {
+	m, y := airMix()
+	a := m.SoundSpeedFrozen(288.15, y)
+	if math.Abs(a-340) > 4 {
+		t.Errorf("a=%g want ~340 m/s", a)
+	}
+}
+
+func TestPressureDensityRoundTrip(t *testing.T) {
+	m, y := airMix()
+	p := m.Pressure(1.225, 288.15, y)
+	if math.Abs(p-101325) > 1500 {
+		t.Errorf("p=%g want ~101325", p)
+	}
+	rho := m.Density(p, 288.15, y)
+	if math.Abs(rho-1.225) > 1e-9 {
+		t.Errorf("rho=%g want 1.225", rho)
+	}
+}
+
+func TestTemperatureFromEInverse(t *testing.T) {
+	m, y := airMix()
+	for _, T := range []float64{300, 1500, 6000, 12000} {
+		e := m.EInternal(T, y)
+		got, err := m.TemperatureFromE(e, y, 0)
+		if err != nil {
+			t.Fatalf("T=%g: %v", T, err)
+		}
+		if math.Abs(got-T) > 1e-3*T {
+			t.Errorf("TemperatureFromE: got %g want %g", got, T)
+		}
+	}
+}
+
+func TestTemperatureFromHInverse(t *testing.T) {
+	m, y := airMix()
+	for _, T := range []float64{300, 2500, 9000} {
+		h := m.Enthalpy(T, y)
+		got, err := m.TemperatureFromH(h, y, 500)
+		if err != nil {
+			t.Fatalf("T=%g: %v", T, err)
+		}
+		if math.Abs(got-T) > 1e-3*T {
+			t.Errorf("TemperatureFromH: got %g want %g", got, T)
+		}
+	}
+}
+
+func TestVibPoolRoundTrip(t *testing.T) {
+	m, _ := airMix()
+	// Mixed dissociated composition with molecules present.
+	y := make([]float64, m.Len())
+	y[AirN2], y[AirO2], y[AirNO], y[AirN], y[AirO] = 0.5, 0.1, 0.05, 0.15, 0.2
+	for _, Tv := range []float64{600, 2000, 6000, 12000} {
+		ev := m.EVibPool(Tv, y)
+		got, err := m.TvFromPool(ev, y, 0)
+		if err != nil {
+			t.Fatalf("Tv=%g: %v", Tv, err)
+		}
+		if math.Abs(got-Tv) > 2e-3*Tv {
+			t.Errorf("TvFromPool: got %g want %g", got, Tv)
+		}
+	}
+}
+
+func TestTwoTConsistencyWithOneT(t *testing.T) {
+	m, y := airMix()
+	T := 4000.0
+	e1 := m.EInternal(T, y)
+	e2 := m.EInternalTwoT(T, T, y)
+	if math.Abs(e1-e2) > 1e-8*math.Abs(e1) {
+		t.Errorf("EInternalTwoT(T,T) != EInternal(T): %g vs %g", e1, e2)
+	}
+}
+
+func TestElementsAndIndex(t *testing.T) {
+	m, _ := airMix()
+	elems := m.Elements()
+	if len(elems) != 2 || elems[0] != "N" || elems[1] != "O" {
+		t.Errorf("elements: %v", elems)
+	}
+	if m.Index("NO") != AirNO {
+		t.Errorf("Index(NO)=%d", m.Index("NO"))
+	}
+	if m.Index("Xe") != -1 {
+		t.Error("Index of missing species should be -1")
+	}
+	if !m.HasIons() {
+		t.Error("air-11 has ions")
+	}
+	m5 := NewMixture(AirSpecies5())
+	if m5.HasIons() {
+		t.Error("air-5 has no ions")
+	}
+}
+
+func TestTitanMixture(t *testing.T) {
+	m := NewMixture(TitanSpecies())
+	y := TitanFreestreamMassFractions(m.Species)
+	elems := m.Elements()
+	if len(elems) != 3 { // C, H, N
+		t.Errorf("titan elements: %v", elems)
+	}
+	w := m.MeanW(y)
+	// 95/5 N2/CH4 by mole: W ~ 0.95*28 + 0.05*16 = 27.4 g/mol.
+	if math.Abs(w-27.4e-3) > 0.5e-3 {
+		t.Errorf("titan MeanW=%g want ~27.4e-3", w)
+	}
+	// CH4 cv includes rotation 3/2 R.
+	ch4 := m.Species[TiCH4]
+	if cv := ch4.CvTransRot(); math.Abs(cv-3*ch4.R()) > 1e-9 {
+		t.Errorf("CH4 cv_tr=%g want %g", cv, 3*ch4.R())
+	}
+}
+
+func TestNumberDensities(t *testing.T) {
+	m, y := airMix()
+	n := m.NumberDensities(1.225, y)
+	tot := 0.0
+	for _, v := range n {
+		tot += v
+	}
+	// Loschmidt-like: ~2.5e25 /m^3 South at sea level conditions.
+	if tot < 2.3e25 || tot > 2.8e25 {
+		t.Errorf("total number density %g", tot)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	y := []float64{2, -1, 2}
+	Normalize(y)
+	if y[1] != 0 || math.Abs(y[0]-0.5) > 1e-12 || math.Abs(y[2]-0.5) > 1e-12 {
+		t.Errorf("normalize: %v", y)
+	}
+	z := []float64{0, 0}
+	Normalize(z) // must not divide by zero
+	if z[0] != 0 || z[1] != 0 {
+		t.Error("zero vector normalize changed values")
+	}
+}

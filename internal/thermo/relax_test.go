@@ -1,0 +1,88 @@
+package thermo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMillikanWhiteN2SelfCollision(t *testing.T) {
+	sp := air()
+	n2 := sp[AirN2]
+	// Classic check: p*tau for N2-N2 at 2000 K should be O(1e-5..1e-4) atm s
+	// (Millikan & White 1963 figure range).
+	tau := MillikanWhiteTau(n2, n2, 2000, AtmPa)
+	if tau < 1e-7 || tau > 1e-3 {
+		t.Errorf("tau(N2-N2,2000K,1atm)=%g s outside plausible band", tau)
+	}
+	// Relaxation gets faster with temperature.
+	if MillikanWhiteTau(n2, n2, 4000, AtmPa) >= tau {
+		t.Error("tau should decrease with T")
+	}
+	// And inversely proportional to pressure.
+	r := MillikanWhiteTau(n2, n2, 2000, AtmPa) / MillikanWhiteTau(n2, n2, 2000, 2*AtmPa)
+	if math.Abs(r-2) > 1e-9 {
+		t.Errorf("pressure scaling ratio %g want 2", r)
+	}
+}
+
+func TestMillikanWhiteAtomHasNoTau(t *testing.T) {
+	sp := air()
+	if !math.IsInf(MillikanWhiteTau(sp[AirN], sp[AirN2], 2000, AtmPa), 1) {
+		t.Error("atoms have no vibrational relaxation time")
+	}
+}
+
+func TestParkCorrectionDominatesAtHighT(t *testing.T) {
+	sp := air()
+	m := NewMixture(sp)
+	y := AirFreestreamMassFractions(sp)
+	x := m.MoleFractions(y)
+	n2 := sp[AirN2]
+	p := 1000.0 // low pressure like a shock tube
+	// At very high T Millikan-White alone would collapse to ~0; Park's
+	// collision limit keeps tau above the hard floor.
+	T := 30000.0
+	tau := RelaxationTime(m, n2, T, p, x)
+	n := p / (KB * T)
+	floor := ParkCollisionTau(n2, T, n)
+	if tau < floor {
+		t.Errorf("tau=%g below Park floor %g", tau, floor)
+	}
+	if math.IsInf(tau, 1) || tau <= 0 {
+		t.Errorf("tau=%g not finite positive", tau)
+	}
+}
+
+func TestRelaxationTimeMixtureAveraging(t *testing.T) {
+	sp := air()
+	m := NewMixture(sp)
+	n2 := sp[AirN2]
+	// Pure N2.
+	x := make([]float64, m.Len())
+	x[AirN2] = 1
+	tauPure := RelaxationTime(m, n2, 3000, AtmPa, x)
+	if tauPure <= 0 || math.IsInf(tauPure, 1) {
+		t.Fatalf("tau pure N2 = %g", tauPure)
+	}
+	// Adding atomic collision partners (more efficient relaxers, smaller
+	// reduced mass) should not increase tau by much; typically decreases.
+	x[AirN2], x[AirN] = 0.5, 0.5
+	tauMix := RelaxationTime(m, n2, 3000, AtmPa, x)
+	if tauMix > tauPure*1.5 {
+		t.Errorf("mixture tau %g way above pure %g", tauMix, tauPure)
+	}
+}
+
+func TestRelaxationDefensiveCases(t *testing.T) {
+	sp := air()
+	n2 := sp[AirN2]
+	if !math.IsInf(MillikanWhiteTau(n2, n2, 0, AtmPa), 1) {
+		t.Error("T=0 should give infinite tau")
+	}
+	if !math.IsInf(MillikanWhiteTau(n2, n2, 300, 0), 1) {
+		t.Error("p=0 should give infinite tau")
+	}
+	if !math.IsInf(ParkCollisionTau(n2, 0, 1e20), 1) {
+		t.Error("Park tau with T=0 should be infinite")
+	}
+}

@@ -1,0 +1,107 @@
+package thermo
+
+import (
+	"math"
+	"testing"
+)
+
+// Quantitative RRHO checks against handbook values for the Titan species.
+
+func TestCH4HeatCapacity(t *testing.T) {
+	ti := TitanSpecies()
+	ch4 := ti[TiCH4]
+	// CH4 cp at 300 K ~ 2.23 kJ/(kg K) (vibration barely excited).
+	cp := ch4.Cp(300)
+	if math.Abs(cp-2230) > 150 {
+		t.Errorf("cp(CH4,300K)=%g want ~2230", cp)
+	}
+	// At 1000 K vibration is active: cp ~ 4.5 kJ/(kg K).
+	cp = ch4.Cp(1000)
+	if cp < 3800 || cp > 5200 {
+		t.Errorf("cp(CH4,1000K)=%g want ~4.5e3", cp)
+	}
+}
+
+func TestH2HeatCapacity(t *testing.T) {
+	ti := TitanSpecies()
+	h2 := ti[TiH2]
+	// H2 cp at 300 K ~ 14.3 kJ/(kg K): 7/2 R/W with vibration frozen.
+	cp := h2.Cp(300)
+	if math.Abs(cp-14300) > 600 {
+		t.Errorf("cp(H2,300K)=%g want ~14300", cp)
+	}
+}
+
+func TestHCNLinearRotor(t *testing.T) {
+	ti := TitanSpecies()
+	hcn := ti[TiHCN]
+	if hcn.Rotor != Linear {
+		t.Fatal("HCN must be a linear rotor")
+	}
+	// Linear polyatomic: cv_tr+rot = 5/2 R.
+	if cv := hcn.CvTransRot(); math.Abs(cv-2.5*hcn.R()) > 1e-9 {
+		t.Errorf("HCN cv_tr=%g want %g", cv, 2.5*hcn.R())
+	}
+	// Three atoms, linear: 3N-5 = 4 vibrational degrees (2 stretches + a
+	// doubly degenerate bend).
+	n := 0
+	for _, v := range hcn.Vib {
+		n += v.G
+	}
+	if n != 4 {
+		t.Errorf("HCN vibrational degrees %d want 4", n)
+	}
+}
+
+func TestC3LowBendingModeActive(t *testing.T) {
+	ti := TitanSpecies()
+	c3 := ti[TiC3]
+	// The 91 K bending mode is classically excited by room temperature:
+	// cv_vib(300) should already carry most of 2R from that mode.
+	cvv := c3.CvVib(300)
+	if cvv < 1.2*c3.R() {
+		t.Errorf("C3 bending mode inactive: cv_vib=%g R=%g", cvv, c3.R())
+	}
+}
+
+func TestCH4NonlinearRotor(t *testing.T) {
+	ti := TitanSpecies()
+	ch4 := ti[TiCH4]
+	if ch4.Rotor != Nonlinear {
+		t.Fatal("CH4 is a spherical top (nonlinear)")
+	}
+	// Nine vibrational degrees for a 5-atom nonlinear molecule (3N-6).
+	n := 0
+	for _, v := range ch4.Vib {
+		n += v.G
+	}
+	if n != 9 {
+		t.Errorf("CH4 vibrational degrees %d want 9", n)
+	}
+	// Rotational partition function with sigma=12 is T^{3/2}-like.
+	q1 := ch4.QRot(300)
+	q2 := ch4.QRot(1200)
+	if r := q2 / q1; math.Abs(r-8) > 0.1 { // (1200/300)^{3/2} = 8
+		t.Errorf("QRot scaling %g want 8", r)
+	}
+}
+
+func TestTitanFormationEnergyOrdering(t *testing.T) {
+	// Atomization energies must order H2 < N2 within the homonuclear pairs
+	// and every radical must sit above its stable parents per heavy atom.
+	ti := TitanSpecies()
+	get := func(i int) float64 { return ti[i].Hf0 * ti[i].W } // J/mol
+	// 2H - H2: 436 kJ/mol bond; 2N - N2: 945 kJ/mol bond.
+	dH2 := 2*get(TiH) - 0 // Hf(H2)=0
+	dN2 := 2 * get(TiN)
+	if dH2/1e3 < 380 || dH2/1e3 > 480 {
+		t.Errorf("D(H2)=%g kJ/mol want ~436", dH2/1e3)
+	}
+	if dN2/1e3 < 900 || dN2/1e3 > 990 {
+		t.Errorf("D(N2)=%g kJ/mol want ~945", dN2/1e3)
+	}
+	// CH4 is the most stable carbon carrier (lowest formation enthalpy).
+	if get(TiCH4) >= get(TiC2H2) || get(TiCH4) >= get(TiC) {
+		t.Error("CH4 should be the most stable C species")
+	}
+}

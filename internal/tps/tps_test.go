@@ -1,0 +1,145 @@
+package tps
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cataero/internal/thermo"
+	"cataero/internal/vsl"
+)
+
+func TestRadiativeEquilibriumWallAnalytic(t *testing.T) {
+	// Constant incident flux: Tw = (q / (eps sigma))^{1/4}.
+	q := 1e6 // 100 W/cm^2
+	eps := 0.85
+	tw, err := RadiativeEquilibriumWall(func(Tw float64) (float64, error) {
+		return q, nil
+	}, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(q/(eps*thermo.SigmaSB), 0.25)
+	if math.Abs(tw-want) > 1 {
+		t.Errorf("Tw=%g want %g", tw, want)
+	}
+}
+
+func TestRadiativeEquilibriumWallColdWall(t *testing.T) {
+	tw, err := RadiativeEquilibriumWall(func(Tw float64) (float64, error) {
+		return 10, nil // negligible heating
+	}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw > 400 {
+		t.Errorf("cold-wall Tw=%g", tw)
+	}
+}
+
+func TestRadiativeEquilibriumWallHotWallFeedback(t *testing.T) {
+	// Flux decreasing with Tw (hot-wall correction): the balance still has
+	// a unique root and it is below the constant-flux value.
+	q0 := 2e6
+	twConst, err := RadiativeEquilibriumWall(func(Tw float64) (float64, error) {
+		return q0, nil
+	}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twFeedback, err := RadiativeEquilibriumWall(func(Tw float64) (float64, error) {
+		return q0 * (1 - Tw/8000), nil
+	}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twFeedback >= twConst {
+		t.Errorf("feedback wall %g should be cooler than %g", twFeedback, twConst)
+	}
+}
+
+func TestRadiativeEquilibriumWallErrors(t *testing.T) {
+	if _, err := RadiativeEquilibriumWall(func(float64) (float64, error) { return 1, nil }, 0); err == nil {
+		t.Error("zero emissivity accepted")
+	}
+	if _, err := RadiativeEquilibriumWall(func(float64) (float64, error) {
+		return 0, fmt.Errorf("boom")
+	}, 0.9); err == nil {
+		t.Error("failing flux accepted")
+	}
+	if _, err := RadiativeEquilibriumWall(func(float64) (float64, error) {
+		return 1e9, nil // unbalanceable
+	}, 0.9); err == nil {
+		t.Error("unbalanceable flux accepted")
+	}
+}
+
+func TestHeatLoadTrapezoid(t *testing.T) {
+	// Triangular pulse peaking at 100 over 10 s: load = 500 J/m^2.
+	time := []float64{0, 5, 10}
+	q := []float64{0, 100, 0}
+	if got := HeatLoad(time, q); math.Abs(got-500) > 1e-9 {
+		t.Errorf("load %g want 500", got)
+	}
+	if HeatLoad([]float64{0}, []float64{1}) != 0 {
+		t.Error("degenerate input should give 0")
+	}
+}
+
+func TestPulseLoads(t *testing.T) {
+	pulse := []vsl.PulsePoint{
+		{Time: 0, QConv: 0, QRad: 0},
+		{Time: 10, QConv: 100, QRad: 200},
+		{Time: 20, QConv: 0, QRad: 0},
+	}
+	c, r := PulseLoads(pulse)
+	if math.Abs(c-1000) > 1e-9 || math.Abs(r-2000) > 1e-9 {
+		t.Errorf("loads %g %g want 1000 2000", c, r)
+	}
+}
+
+func TestAblatorRecession(t *testing.T) {
+	a := CarbonPhenolic()
+	// 60 s at 2000 W/cm^2 (2e7 W/m^2): net flux after re-radiation ~1.87e7;
+	// recession = net * t / (rho Qstar) ~ 31 mm.
+	time := []float64{0, 60}
+	q := []float64{2e7, 2e7}
+	rec := a.Recession(time, q)
+	qRerad := a.Eps * thermo.SigmaSB * math.Pow(a.TAbl, 4)
+	want := (2e7 - qRerad) * 60 / (a.Rho * a.QStar)
+	if math.Abs(rec-want) > 1e-9 {
+		t.Errorf("recession %g want %g", rec, want)
+	}
+	// Below the re-radiation limit nothing ablates.
+	if a.Recession([]float64{0, 60}, []float64{1e5, 1e5}) != 0 {
+		t.Error("sub-reradiation flux should not ablate")
+	}
+}
+
+func TestAblatorOrdering(t *testing.T) {
+	// The denser, higher-Q* material recedes less under the same pulse.
+	time := []float64{0, 30, 60}
+	q := []float64{0, 3e7, 0}
+	cp := CarbonPhenolic().Recession(time, q)
+	sp := SilicaPhenolic().Recession(time, q)
+	if cp >= sp {
+		t.Errorf("carbon phenolic %g should beat silica phenolic %g", cp, sp)
+	}
+}
+
+func TestSizeThickness(t *testing.T) {
+	a := CarbonPhenolic()
+	time := []float64{0, 30, 60}
+	q := []float64{0, 3e7, 0}
+	th := a.SizeThickness(time, q, 0, 0)
+	rec := a.Recession(time, q)
+	if th <= rec {
+		t.Errorf("thickness %g must exceed recession %g", th, rec)
+	}
+	// Longer pulse needs more insulation.
+	time2 := []float64{0, 120, 240}
+	th2 := a.SizeThickness(time2, q, 0, 0)
+	if th2 <= th {
+		t.Errorf("longer pulse thickness %g should exceed %g", th2, th)
+	}
+}

@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"cataero/internal/thermo"
+)
+
+func TestSutherlandSeaLevel(t *testing.T) {
+	// Air at 288.15 K: mu = 1.789e-5 kg/(m s).
+	mu := Sutherland(288.15)
+	if math.Abs(mu-1.789e-5) > 0.02e-5 {
+		t.Errorf("mu=%g want ~1.789e-5", mu)
+	}
+	// Monotone increasing.
+	if Sutherland(600) <= mu {
+		t.Error("viscosity should increase with T")
+	}
+}
+
+func TestBlottnerN2MatchesSutherlandNearAmbient(t *testing.T) {
+	sp := thermo.AirSpecies11()
+	n2 := sp[thermo.AirN2]
+	// N2 viscosity at 300 K ~ 1.78e-5; Blottner fit should be within ~15%.
+	mu := SpeciesViscosity(n2, 300)
+	if mu < 1.4e-5 || mu > 2.2e-5 {
+		t.Errorf("mu(N2,300)=%g implausible", mu)
+	}
+}
+
+func TestKineticTheoryFallback(t *testing.T) {
+	ti := thermo.TitanSpecies()
+	ch4 := ti[thermo.TiCH4]
+	// CH4 at 300 K: mu ~ 1.1e-5 kg/(m s).
+	mu := SpeciesViscosity(ch4, 300)
+	if mu < 0.7e-5 || mu > 1.6e-5 {
+		t.Errorf("mu(CH4,300)=%g want ~1.1e-5", mu)
+	}
+	// H2 at 300 K: mu ~ 0.89e-5.
+	h2 := ti[thermo.TiH2]
+	mu = SpeciesViscosity(h2, 300)
+	if mu < 0.6e-5 || mu > 1.3e-5 {
+		t.Errorf("mu(H2,300)=%g want ~0.89e-5", mu)
+	}
+}
+
+func TestOmega22Limits(t *testing.T) {
+	// Collision integral decreases with reduced temperature and approaches
+	// ~1 at high T*.
+	if Omega22(1) <= Omega22(10) {
+		t.Error("Omega22 should decrease with T*")
+	}
+	if v := Omega22(100); v < 0.5 || v > 1.2 {
+		t.Errorf("Omega22(100)=%g want ~0.58-1", v)
+	}
+}
+
+func TestWilkeMixtureViscosityAir(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	tr := NewMixture(m)
+	y := thermo.AirFreestreamMassFractions(m.Species)
+	mu := tr.Viscosity(300, y)
+	// Air at 300 K: 1.85e-5 kg/(m s) +- fit error.
+	if mu < 1.5e-5 || mu > 2.2e-5 {
+		t.Errorf("mu(air,300)=%g want ~1.85e-5", mu)
+	}
+	// Pure-species limit: Wilke reduces to the species value.
+	yp := make([]float64, m.Len())
+	yp[thermo.AirN2] = 1
+	muP := tr.Viscosity(500, yp)
+	muS := SpeciesViscosity(m.Species[thermo.AirN2], 500)
+	if math.Abs(muP-muS) > 1e-9 {
+		t.Errorf("pure limit: %g vs %g", muP, muS)
+	}
+}
+
+func TestConductivityAir(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	tr := NewMixture(m)
+	y := thermo.AirFreestreamMassFractions(m.Species)
+	k := tr.Conductivity(300, y)
+	// Air at 300 K: k ~ 0.026 W/(m K).
+	if k < 0.018 || k > 0.038 {
+		t.Errorf("k(air,300)=%g want ~0.026", k)
+	}
+}
+
+func TestPrandtlAir(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	tr := NewMixture(m)
+	y := thermo.AirFreestreamMassFractions(m.Species)
+	pr := tr.Prandtl(300, y)
+	if pr < 0.6 || pr > 0.85 {
+		t.Errorf("Pr(air,300)=%g want ~0.7", pr)
+	}
+}
+
+func TestDiffusionCoefficient(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	tr := NewMixture(m)
+	y := thermo.AirFreestreamMassFractions(m.Species)
+	D := tr.DiffusionCoefficient(1.2, 300, y, 1.4)
+	// Lewis=1.4 air: D ~ 1.4 * alpha ~ 3e-5 m^2/s.
+	if D < 1e-5 || D > 8e-5 {
+		t.Errorf("D=%g want ~3e-5", D)
+	}
+	// Default Lewis on nonpositive input.
+	if tr.DiffusionCoefficient(1.2, 300, y, 0) != D {
+		t.Error("default Lewis should be 1.4")
+	}
+	if tr.DiffusionCoefficient(0, 300, y, 1.4) != 0 {
+		t.Error("zero density should give zero D")
+	}
+}
+
+func TestViscosityIncreasesWithT(t *testing.T) {
+	m := thermo.NewMixture(thermo.AirSpecies11())
+	tr := NewMixture(m)
+	y := thermo.AirFreestreamMassFractions(m.Species)
+	prev := tr.Viscosity(300, y)
+	for _, T := range []float64{1000, 3000, 6000, 10000} {
+		cur := tr.Viscosity(T, y)
+		if cur <= prev {
+			t.Errorf("viscosity not increasing at T=%g", T)
+		}
+		prev = cur
+	}
+}
+
+func TestElectronViscosityNegligible(t *testing.T) {
+	sp := thermo.AirSpecies11()
+	if mu := SpeciesViscosity(sp[thermo.AirE], 10000); mu > 1e-8 {
+		t.Errorf("electron viscosity should be negligible, got %g", mu)
+	}
+}
