@@ -1,6 +1,7 @@
 package cataero
 
 import (
+	"context"
 	"math"
 
 	"cataero/internal/blayer"
@@ -154,7 +155,7 @@ func shockWidthComparison() (firstOrder, muscl float64, err error) {
 func radiationLimitComparison() (thin, slab float64, err error) {
 	in := titanVSLInputs()
 	in.PInf, in.TInf, in.VInf = 8.0, 165, 9500
-	r, err := vsl.Solve(in)
+	r, err := vsl.Solve(context.Background(), in)
 	if err != nil {
 		return 0, 0, err
 	}

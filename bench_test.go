@@ -8,6 +8,7 @@ package cataero
 // paper-vs-measured for each.
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -297,5 +298,45 @@ func BenchmarkAblationThinVsTangentSlab(b *testing.B) {
 			b.Fatalf("transport (%g) cannot exceed the thin limit (%g)", slab, thin)
 		}
 		b.ReportMetric(slab/thin, "slab/thin")
+	}
+}
+
+// --- Session API benches ---
+
+// BenchmarkColdSolve: a repeated NS stagnation solve through a fresh
+// session every iteration — the legacy one-shot cost, paying the model
+// stack and EOS-table build each time.
+func BenchmarkColdSolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env, err := NewSession().Solve(context.Background(), smallNSProblem())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if env.QConvStag <= 0 {
+			b.Fatal("no NS wall heating")
+		}
+	}
+}
+
+// BenchmarkSessionReuse: the same NS stagnation solve through one reused
+// session — the cached-stack path; the EOS table builds exactly once.
+func BenchmarkSessionReuse(b *testing.B) {
+	s := NewSession()
+	// Warm the caches so the loop measures steady-state reuse.
+	if _, err := s.Solve(context.Background(), smallNSProblem()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := s.Solve(context.Background(), smallNSProblem())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if env.QConvStag <= 0 {
+			b.Fatal("no NS wall heating")
+		}
+	}
+	if builds := s.stack.TableBuilds(); builds != 1 {
+		b.Fatalf("EOS table built %d times across the bench, want 1", builds)
 	}
 }

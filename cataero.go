@@ -7,7 +7,25 @@
 // air/Titan chemistry, two-temperature thermodynamic nonequilibrium, and
 // tangent-slab spectral radiation.
 //
-// The public surface re-exports the core problem/environment types and
+// # Architecture
+//
+// The primary entry point is the Session: a reusable pipeline constructed
+// once via functional options,
+//
+//	s := cataero.NewSession(cataero.WithChemistry(cataero.EquilibriumAir),
+//		cataero.WithWorkers(8))
+//	env, err := s.Solve(ctx, cataero.Problem{Class: cataero.VSL, ...})
+//	results, err := s.SolveBatch(ctx, problems) // concurrent sweep
+//
+// A session owns lazily-built, cached model stacks (one per chemistry) and
+// a keyed cache of tabulated equilibrium EOS tables, so repeated NS or
+// shock-shape solves build each table exactly once. Behind the session,
+// every solver class resolves through a registry in internal/core — new
+// equation sets register themselves and plug in without touching the
+// dispatcher. Contexts are threaded into the solver iteration loops, so
+// sweeps cancel promptly.
+//
+// The public surface also re-exports the core problem/environment types and
 // provides one runner per figure of the paper's evaluation (Figs. 1-9); the
 // internal packages carry the substrates (thermo, chem, transport, gas,
 // radiation, atmosphere, geometry, grid, fvm, shock, shocktube, blayer, vsl,
@@ -15,6 +33,8 @@
 package cataero
 
 import (
+	"context"
+
 	"cataero/internal/core"
 )
 
@@ -26,6 +46,9 @@ type Environment = core.Environment
 
 // SurfacePoint is one station of a surface heating/pressure distribution.
 type SurfacePoint = core.SurfacePoint
+
+// ShockEnvelope is the result of an Euler bow-shock solve.
+type ShockEnvelope = core.ShockEnvelope
 
 // SolverClass selects one of the paper's four equation sets.
 type SolverClass = core.SolverClass
@@ -41,8 +64,11 @@ const (
 // GasChemistry selects the real-gas treatment of a Problem.
 type GasChemistry = core.GasChemistry
 
-// Chemistry models.
+// Chemistry models. ChemistryUnset defers to the session default (see
+// WithChemistry); a problem that leaves Chemistry unset on a session with
+// no default resolves to ideal gas.
 const (
+	ChemistryUnset   = core.ChemistryUnset
 	IdealGas         = core.IdealGas
 	EquilibriumAir   = core.EquilibriumAir
 	EquilibriumTitan = core.EquilibriumTitan
@@ -50,10 +76,24 @@ const (
 
 // Solve dispatches a problem to its solver class and returns the
 // aerothermal environment.
-func Solve(p Problem) (*Environment, error) { return core.Solve(p) }
+//
+// Deprecated: use Session.Solve, which adds cancellation, cached model
+// stacks and batch sweeps. This wrapper delegates to a shared default
+// session.
+func Solve(p Problem) (*Environment, error) {
+	return defaultSession().Solve(context.Background(), p)
+}
 
 // ShockShape computes an Euler bow-shock locus for a problem (Fig. 4
 // machinery): ideal or equilibrium air.
+//
+// Deprecated: use Session.ShockShape, which returns the full envelope and
+// adds cancellation and table caching. This wrapper delegates to a shared
+// default session.
 func ShockShape(p Problem) (xs, ys []float64, standoff float64, err error) {
-	return core.ShockShape(p)
+	env, err := defaultSession().ShockShape(context.Background(), p)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return env.X, env.Y, env.Standoff, nil
 }

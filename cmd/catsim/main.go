@@ -1,50 +1,87 @@
 // catsim regenerates the paper's figures from the command line:
 //
 //	catsim -fig 7          # print the Fig. 7 relaxation profile
+//	catsim -fig 2,4,9      # run a comma-separated list of figures
 //	catsim -fig all        # run every figure and print a summary
 //	catsim -fig 4 -q 2     # finer grids
+//	catsim -fig 2 -workers 4   # bound the session's solve pool
+//
+// All solver-backed figures run through one cataero.Session, so model
+// stacks and EOS tables build once and are shared across the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"sort"
+	"strings"
 
 	"cataero"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1-9 or 'all'")
+	fig := flag.String("fig", "all", "figures to regenerate: comma-separated 1-9, or 'all'")
 	quality := flag.Int("q", 1, "grid quality (1 = default, 2 = finer)")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	runners := map[string]func(cataero.Quality) error{
-		"1": fig1, "2": fig2, "3": fig3, "4": fig4, "5": fig5,
-		"6": fig6, "7": fig7, "8": fig8, "9": fig9,
+	opts := []cataero.Option{cataero.WithQuality(cataero.Quality(*quality))}
+	if *workers > 0 {
+		opts = append(opts, cataero.WithWorkers(*workers))
 	}
+	s := cataero.NewSession(opts...)
+	ctx := context.Background()
+
+	runners := map[string]func() error{
+		"1": func() error { return fig1() },
+		"2": func() error { return fig2(ctx, s) },
+		"3": func() error { return fig3() },
+		"4": func() error { return fig4(ctx, s, cataero.Quality(*quality)) },
+		"5": func() error { return fig5() },
+		"6": func() error { return fig6(ctx, s) },
+		"7": func() error { return fig7() },
+		"8": func() error { return fig8() },
+		"9": func() error { return fig9(ctx, s, cataero.Quality(*quality)) },
+	}
+
+	var keys []string
 	if *fig == "all" {
-		for _, k := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9"} {
-			fmt.Printf("==== Figure %s ====\n", k)
-			if err := runners[k](cataero.Quality(*quality)); err != nil {
-				log.Fatalf("figure %s: %v", k, err)
+		keys = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9"}
+	} else {
+		for _, k := range strings.Split(*fig, ",") {
+			k = strings.TrimSpace(k)
+			if k == "" {
+				continue
 			}
+			if _, ok := runners[k]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown figure %q (want 1-9, a comma-separated list, or 'all')\n", k)
+				os.Exit(2)
+			}
+			keys = append(keys, k)
+		}
+		if len(keys) == 0 {
+			fmt.Fprintf(os.Stderr, "no figures requested (want 1-9, a comma-separated list, or 'all')\n")
+			os.Exit(2)
+		}
+	}
+
+	for _, k := range keys {
+		if len(keys) > 1 {
+			fmt.Printf("==== Figure %s ====\n", k)
+		}
+		if err := runners[k](); err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", k, err)
+			os.Exit(1)
+		}
+		if len(keys) > 1 {
 			fmt.Println()
 		}
-		return
-	}
-	r, ok := runners[*fig]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1-9 or all)\n", *fig)
-		os.Exit(2)
-	}
-	if err := r(cataero.Quality(*quality)); err != nil {
-		log.Fatal(err)
 	}
 }
 
-func fig1(cataero.Quality) error {
+func fig1() error {
 	r := cataero.Fig1FlightDomain()
 	fmt.Println("Flight domain (Re vs M) and facility envelopes")
 	for _, v := range r.Vehicles {
@@ -62,8 +99,8 @@ func fig1(cataero.Quality) error {
 	return nil
 }
 
-func fig2(cataero.Quality) error {
-	r, err := cataero.Fig2TitanHeatingPulse()
+func fig2(ctx context.Context, s *cataero.Session) error {
+	r, err := s.Fig2TitanHeatingPulse(ctx)
 	if err != nil {
 		return err
 	}
@@ -77,7 +114,7 @@ func fig2(cataero.Quality) error {
 	return nil
 }
 
-func fig3(cataero.Quality) error {
+func fig3() error {
 	r, err := cataero.Fig3TitanSpeciesProfile()
 	if err != nil {
 		return err
@@ -99,8 +136,8 @@ func fig3(cataero.Quality) error {
 	return nil
 }
 
-func fig4(q cataero.Quality) error {
-	r, err := cataero.Fig4OrbiterShockShape(q)
+func fig4(ctx context.Context, s *cataero.Session, q cataero.Quality) error {
+	r, err := s.Fig4OrbiterShockShape(ctx, q)
 	if err != nil {
 		return err
 	}
@@ -115,18 +152,18 @@ func fig4(q cataero.Quality) error {
 	return nil
 }
 
-func fig5(cataero.Quality) error {
+func fig5() error {
 	secs := cataero.Fig5OrbiterGeometry(20)
 	fmt.Println("Orbiter geometry sections")
 	fmt.Println("    x [m]   half-width   windward z")
-	for _, s := range secs {
-		fmt.Printf("  %7.2f   %10.2f   %10.2f\n", s.X, s.HalfWidth, s.WindwardZ)
+	for _, sec := range secs {
+		fmt.Printf("  %7.2f   %10.2f   %10.2f\n", sec.X, sec.HalfWidth, sec.WindwardZ)
 	}
 	return nil
 }
 
-func fig6(cataero.Quality) error {
-	r, err := cataero.Fig6WindwardHeating()
+func fig6(ctx context.Context, s *cataero.Session) error {
+	r, err := s.Fig6WindwardHeating(ctx)
 	if err != nil {
 		return err
 	}
@@ -143,7 +180,7 @@ func fig6(cataero.Quality) error {
 	return nil
 }
 
-func fig7(cataero.Quality) error {
+func fig7() error {
 	r, err := cataero.Fig7ShockRelaxation()
 	if err != nil {
 		return err
@@ -158,7 +195,7 @@ func fig7(cataero.Quality) error {
 	return nil
 }
 
-func fig8(cataero.Quality) error {
+func fig8() error {
 	r, err := cataero.Fig8NoneqSpectra()
 	if err != nil {
 		return err
@@ -171,8 +208,8 @@ func fig8(cataero.Quality) error {
 	return nil
 }
 
-func fig9(q cataero.Quality) error {
-	r, err := cataero.Fig9HemisphereNS(q)
+func fig9(ctx context.Context, s *cataero.Session, q cataero.Quality) error {
+	r, err := s.Fig9HemisphereNS(ctx, q)
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,11 @@
 // Quickstart: compute the aerothermal environment of a Shuttle-like entry
-// point with two members of the solver hierarchy and compare them — the
-// sixty-second tour of the cataero public API.
+// point with three members of the solver hierarchy and compare them — the
+// sixty-second tour of the cataero Session API. The three solves run as
+// one concurrent batch over a shared, cached model stack.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,9 +13,13 @@ import (
 )
 
 func main() {
+	// One session for the whole program: model stacks and EOS tables build
+	// lazily and are cached across every solve below.
+	s := cataero.NewSession(cataero.WithChemistry(cataero.EquilibriumAir))
+	ctx := context.Background()
+
 	// Shuttle Orbiter entry point: 6.74 km/s at ~71 km altitude.
 	base := cataero.Problem{
-		Chemistry:  cataero.EquilibriumAir,
 		PInf:       4.8,  // Pa
 		TInf:       217,  // K
 		VInf:       6740, // m/s
@@ -25,27 +31,36 @@ func main() {
 	fmt.Println("cataero quickstart: Shuttle entry point, equilibrium air")
 	fmt.Println()
 
+	// The hierarchy as a batch: one problem per solver class.
+	var probs []cataero.Problem
 	for _, class := range []cataero.SolverClass{cataero.VSL, cataero.EBL, cataero.PNS} {
 		p := base
 		p.Class = class
 		if class == cataero.EBL {
 			p.GammaW = 1 // fully catalytic wall
 		}
-		env, err := cataero.Solve(p)
-		if err != nil {
-			log.Fatalf("%s: %v", class, err)
+		probs = append(probs, p)
+	}
+	results, err := s.SolveBatch(ctx, probs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("%s: %v", r.Problem.Class, r.Err)
 		}
-		fmt.Printf("%-28s q_conv(stag) = %7.1f W/cm^2", class.String()+":", env.QConvStag/1e4)
-		if env.Standoff > 0 {
-			fmt.Printf("   standoff = %.1f mm", env.Standoff*1000)
+		fmt.Printf("%-28s q_conv(stag) = %7.1f W/cm^2", r.Problem.Class.String()+":", r.Env.QConvStag/1e4)
+		if r.Env.Standoff > 0 {
+			fmt.Printf("   standoff = %.1f mm", r.Env.Standoff*1000)
 		}
 		fmt.Println()
 	}
 
-	// Surface distribution from the PNS class.
+	// Surface distribution from the PNS class (cached stack: this re-solve
+	// pays no model-construction cost).
 	p := base
 	p.Class = cataero.PNS
-	env, err := cataero.Solve(p)
+	env, err := s.Solve(ctx, p)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cataero
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,9 +10,8 @@ import (
 	"cataero/internal/chem"
 	"cataero/internal/euler"
 	"cataero/internal/freeflight"
-	"cataero/internal/gas"
 	"cataero/internal/geometry"
-	"cataero/internal/pns"
+	"cataero/internal/ns"
 	"cataero/internal/radiation"
 	"cataero/internal/shocktube"
 	"cataero/internal/thermo"
@@ -87,9 +87,10 @@ func titanVSLInputs() vsl.Inputs {
 	}
 }
 
-// Fig2TitanHeatingPulse regenerates the paper's Fig. 2: a 12 km/s Titan
-// probe entry with stagnation-line VSL heating at each trajectory point.
-func Fig2TitanHeatingPulse() (*Fig2Result, error) {
+// Fig2TitanHeatingPulse regenerates the paper's Fig. 2 on the session's
+// worker pool: a 12 km/s Titan probe entry, integrated as a trajectory and
+// swept as one concurrent SolveBatch of stagnation-line VSL problems.
+func (s *Session) Fig2TitanHeatingPulse(ctx context.Context) (*Fig2Result, error) {
 	ti := atmosphere.NewTitan()
 	veh := atmosphere.Vehicle{Mass: 2100, RefArea: 5.3, CD: 1.05, NoseRadius: 1.25}
 	traj, err := atmosphere.IntegrateEntry(ti, veh, atmosphere.EntryConditions{
@@ -98,25 +99,53 @@ func Fig2TitanHeatingPulse() (*Fig2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pulse, err := vsl.HeatingPulse(titanVSLInputs(), ti, traj)
+	// One VSL problem per trajectory point with non-negligible heating.
+	var probs []Problem
+	var times []float64
+	for _, tp := range traj {
+		if !vsl.SignificantHeating(tp) {
+			continue
+		}
+		probs = append(probs, Problem{
+			Class: VSL, Chemistry: EquilibriumTitan, Radiation: true,
+			PInf: tp.Pressure, TInf: tp.Temp, VInf: tp.Velocity,
+			NoseRadius: 1.25, TWall: 1800, NStations: 28,
+		})
+		times = append(times, tp.Time)
+	}
+	results, err := s.SolveBatch(ctx, probs)
 	if err != nil {
 		return nil, err
 	}
 	out := &Fig2Result{}
-	for _, p := range pulse {
-		out.Time = append(out.Time, p.Time)
-		out.QConv = append(out.QConv, p.QConv/1e4) // W/m^2 -> W/cm^2
-		out.QRad = append(out.QRad, p.QRad/1e4)
-		if p.QConv/1e4 > out.PeakConv {
-			out.PeakConv = p.QConv / 1e4
-			out.TPeakConv = p.Time
+	for i, r := range results {
+		if r.Err != nil {
+			// Individual trajectory points may sit outside the equilibrium
+			// solver's range right at the entry interface; skip them rather
+			// than abort the pulse.
+			continue
 		}
-		if p.QRad/1e4 > out.PeakRad {
-			out.PeakRad = p.QRad / 1e4
-			out.TPeakRad = p.Time
+		qc, qr := r.Env.QConvStag/1e4, r.Env.QRadStag/1e4 // W/m^2 -> W/cm^2
+		out.Time = append(out.Time, times[i])
+		out.QConv = append(out.QConv, qc)
+		out.QRad = append(out.QRad, qr)
+		if qc > out.PeakConv {
+			out.PeakConv, out.TPeakConv = qc, times[i]
+		}
+		if qr > out.PeakRad {
+			out.PeakRad, out.TPeakRad = qr, times[i]
 		}
 	}
+	if len(out.Time) == 0 {
+		return nil, fmt.Errorf("cataero: no valid heating points along trajectory")
+	}
 	return out, nil
+}
+
+// Fig2TitanHeatingPulse regenerates the paper's Fig. 2 on the shared
+// default session.
+func Fig2TitanHeatingPulse() (*Fig2Result, error) {
+	return defaultSession().Fig2TitanHeatingPulse(context.Background())
 }
 
 // --- Fig. 3: Titan stagnation-line species profiles ---
@@ -135,7 +164,7 @@ func Fig3TitanSpeciesProfile() (*Fig3Result, error) {
 	in := titanVSLInputs()
 	in.PInf, in.TInf, in.VInf = 120.0, 165, 7500
 	in.NPts = 40
-	r, err := vsl.Solve(in)
+	r, err := vsl.Solve(context.Background(), in)
 	if err != nil {
 		return nil, err
 	}
@@ -162,9 +191,10 @@ type Fig4Result struct {
 	StandoffReacting     float64
 }
 
-// Fig4OrbiterShockShape regenerates the paper's Fig. 4: V=6.7 km/s at
-// 65.5 km, alpha=30 deg, ideal vs equilibrium air, planar pitch-plane model.
-func Fig4OrbiterShockShape(q Quality) (*Fig4Result, error) {
+// Fig4OrbiterShockShape regenerates the paper's Fig. 4 — V=6.7 km/s at
+// 65.5 km, alpha=30 deg, planar pitch-plane model — as one concurrent
+// ShockShapeBatch of the ideal and equilibrium-air runs.
+func (s *Session) Fig4OrbiterShockShape(ctx context.Context, q Quality) (*Fig4Result, error) {
 	earth := atmosphere.NewEarth()
 	st := earth.AtAltitude(65.5e3)
 	o := geometry.NewOrbiter()
@@ -173,36 +203,37 @@ func Fig4OrbiterShockShape(q Quality) (*Fig4Result, error) {
 	if q >= 2 {
 		ni, nj, steps = 28, 40, 5000
 	}
-	run := func(model gas.Model) (*euler.Result, error) {
-		return euler.Solve(euler.Case{
-			Gas: model, Body: body,
-			NI: ni, NJ: nj,
-			VInf: 6700, PInf: st.Pressure, TInf: st.Temperature,
-			MaxSteps: steps,
-			Standoff: func(s float64) float64 { return 1.6*body.NoseRadius() + 0.45*s },
-		})
+	base := Problem{
+		Body: body, NI: ni, NJ: nj, MaxSteps: steps,
+		VInf: 6700, PInf: st.Pressure, TInf: st.Temperature,
+		Standoff: func(s float64) float64 { return 1.6*body.NoseRadius() + 0.45*s },
 	}
-	rI, err := run(gas.NewIdealAir())
-	if err != nil {
-		return nil, fmt.Errorf("ideal run: %w", err)
-	}
-	eqm := gas.NewEquilibriumAir()
-	rhoInf := st.Density
-	tab, err := gas.NewTable(eqm, rhoInf*0.05, rhoInf*60, 1e5, 5e7, 30, 30)
+	pI, pE := base, base
+	pI.Chemistry = IdealGas
+	pE.Chemistry = EquilibriumAir
+	results, err := s.ShockShapeBatch(ctx, []Problem{pI, pE})
 	if err != nil {
 		return nil, err
 	}
-	rE, err := run(tab)
-	if err != nil {
-		return nil, fmt.Errorf("equilibrium run: %w", err)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s run: %w", r.Problem.Chemistry, r.Err)
+		}
 	}
+	rI, rE := results[0].Env, results[1].Env
 	return &Fig4Result{
-		IdealX: rI.ShockX, IdealY: rI.ShockY,
-		ReactingX: rE.ShockX, ReactingY: rE.ShockY,
+		IdealX: rI.X, IdealY: rI.Y,
+		ReactingX: rE.X, ReactingY: rE.Y,
 		BodyX: rI.BodyX, BodyY: rI.BodyY,
 		StandoffIdeal:    rI.Standoff,
 		StandoffReacting: rE.Standoff,
 	}, nil
+}
+
+// Fig4OrbiterShockShape regenerates the paper's Fig. 4 on the shared
+// default session.
+func Fig4OrbiterShockShape(q Quality) (*Fig4Result, error) {
+	return defaultSession().Fig4OrbiterShockShape(context.Background(), q)
 }
 
 // --- Fig. 5: Orbiter geometry ---
@@ -229,44 +260,36 @@ type Fig6Result struct {
 
 // Fig6WindwardHeating regenerates the paper's Fig. 6: STS-3 point
 // (V=6.74 km/s, h=71.3 km, alpha=40 deg) on the equivalent axisymmetric
-// body; equilibrium air vs gamma=1.2 ideal gas vs synthetic flight data
-// generated with a partially catalytic wall.
-func Fig6WindwardHeating() (*Fig6Result, error) {
+// body. The equilibrium-air and gamma=1.2 ideal-gas PNS marches run as one
+// concurrent SolveBatch; synthetic flight data come from a partially
+// catalytic wall.
+func (s *Session) Fig6WindwardHeating(ctx context.Context) (*Fig6Result, error) {
 	earth := atmosphere.NewEarth()
 	st := earth.AtAltitude(71.3e3)
-	m := thermo.NewMixture(thermo.AirSpecies11())
-	eq := chem.NewEquilibriumSolver(m)
-	tr := transport.NewMixture(m)
-	y0 := thermo.AirFreestreamMassFractions(m.Species)
-	fs := blayer.FreeStream{P: st.Pressure, T: st.Temperature, Rho: st.Density, V: 6740}
 	o := geometry.NewOrbiter()
 	body := o.EquivalentAxisymmetric(40 * math.Pi / 180)
 	nSt := 22
 	twall := 1100.0
 
-	edgesE, err := blayer.EdgeDistribution(eq, tr, y0, fs, body, nSt)
+	base := Problem{
+		Class: PNS, Body: body,
+		PInf: st.Pressure, TInf: st.Temperature, VInf: 6740,
+		TWall: twall, NStations: nSt,
+	}
+	pE, pI := base, base
+	pE.Chemistry = EquilibriumAir
+	pI.Chemistry = IdealGas
+	pI.Gamma = 1.2
+	results, err := s.SolveBatch(ctx, []Problem{pE, pI})
 	if err != nil {
 		return nil, err
 	}
-	hw, err := pns.WallEnthalpyEquilibrium(eq, y0, edgesE[0].P, twall)
-	if err != nil {
-		return nil, err
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s march: %w", r.Problem.Chemistry, r.Err)
+		}
 	}
-	resE, err := pns.March(edgesE, pns.EquilibriumProps(eq, tr, y0),
-		hw, edgesE[0].H, body.NoseRadius(), fs.P, pns.Options{})
-	if err != nil {
-		return nil, err
-	}
-	edgesI, err := pns.IdealEdgeDistribution(1.2, 287.05, fs, body, nSt)
-	if err != nil {
-		return nil, err
-	}
-	cp12 := 1.2 * 287.05 / 0.2
-	resI, err := pns.March(edgesI, pns.IdealProps(1.2, 287.05),
-		cp12*twall, edgesI[0].H, body.NoseRadius(), fs.P, pns.Options{})
-	if err != nil {
-		return nil, err
-	}
+	resE, resI := results[0].Env.Surface, results[1].Env.Surface
 
 	out := &Fig6Result{}
 	// Map arc length on the equivalent body to x/L on the Orbiter.
@@ -278,6 +301,12 @@ func Fig6WindwardHeating() (*Fig6Result, error) {
 	// Synthetic flight data: the catalytic-efficiency story. Scale the
 	// equilibrium prediction by the finite-catalycity stagnation ratio and
 	// add a deterministic pseudo-measurement scatter.
+	mod, err := s.stack.Models(EquilibriumAir)
+	if err != nil {
+		return nil, err
+	}
+	m, eq, tr, y0 := mod.Mix, mod.Eq, mod.Tr, mod.Y0
+	fs := blayer.FreeStream{P: st.Pressure, T: st.Temperature, Rho: st.Density, V: 6740}
 	in, err := blayer.StagnationFromFreestream(eq, y0, fs, twall, body.NoseRadius())
 	if err != nil {
 		return nil, err
@@ -300,6 +329,12 @@ func Fig6WindwardHeating() (*Fig6Result, error) {
 		out.FlightQ = append(out.FlightQ, resE[i].Q/1e4*frac*noise)
 	}
 	return out, nil
+}
+
+// Fig6WindwardHeating regenerates the paper's Fig. 6 on the shared default
+// session.
+func Fig6WindwardHeating() (*Fig6Result, error) {
+	return defaultSession().Fig6WindwardHeating(context.Background())
 }
 
 // --- Fig. 7: two-temperature shock relaxation ---
@@ -412,18 +447,15 @@ type Fig9Result struct {
 	Standoff float64
 }
 
-// Fig9HemisphereNS regenerates the paper's Fig. 9: Mach-20 equilibrium air
-// over a hemisphere at 20 km altitude; N2 mole-fraction contours.
-func Fig9HemisphereNS(q Quality) (*Fig9Result, error) {
+// Fig9HemisphereNS regenerates the paper's Fig. 9 — Mach-20 equilibrium air
+// over a hemisphere at 20 km altitude — through the session NS solver, so
+// repeated runs reuse the cached equilibrium EOS table; the N2 contour
+// field comes from the solver payload on Environment.Raw.
+func (s *Session) Fig9HemisphereNS(ctx context.Context, q Quality) (*Fig9Result, error) {
 	earth := atmosphere.NewEarth()
 	st := earth.AtAltitude(20e3)
-	eqm := gas.NewEquilibriumAir()
-	tab, err := gas.NewTable(eqm, 5e-3, 3.0, 1e5, 2.2e7, 30, 30)
-	if err != nil {
-		return nil, err
-	}
-	tr := transport.NewMixture(eqm.Mix)
-	mu, k, err := nsEquilibriumTransport(eqm, tr)
+	eqm := s.stack.EquilibriumAirGas()
+	mu, k, err := ns.EquilibriumTransport(eqm, transport.NewMixture(eqm.Mix), 0.3)
 	if err != nil {
 		return nil, err
 	}
@@ -432,9 +464,19 @@ func Fig9HemisphereNS(q Quality) (*Fig9Result, error) {
 		ni, nj, steps = 24, 40, 6000
 	}
 	aInf := math.Sqrt(1.4 * 287.05 * st.Temperature)
-	r, err := nsSolve(tab, mu, k, ni, nj, steps, 20*aInf, st.Pressure, st.Temperature)
+	env, err := s.Solve(ctx, Problem{
+		Class: NS, Chemistry: EquilibriumAir,
+		PInf: st.Pressure, TInf: st.Temperature, VInf: 20 * aInf,
+		NoseRadius: 0.3, TWall: 1500,
+		NI: ni, NJ: nj, MaxSteps: steps,
+		Mu: mu, K: k,
+	})
 	if err != nil {
 		return nil, err
+	}
+	r, ok := env.Raw.(*ns.Result)
+	if !ok {
+		return nil, fmt.Errorf("cataero: NS solver returned no field payload")
 	}
 	y0 := thermo.AirFreestreamMassFractions(eqm.Mix.Species)
 	levels := []float64{0.5, 0.55, 0.6, 0.65, 0.7, 0.75}
@@ -452,11 +494,16 @@ func Fig9HemisphereNS(q Quality) (*Fig9Result, error) {
 			minX = v
 		}
 	}
-	xs, ysl := r.Solver.ShockLocus(2.5)
 	return &Fig9Result{
 		ContourX: cross,
 		MinXN2:   minX,
-		QStag:    r.QWall[0],
-		Standoff: math.Hypot(xs[0]-r.Grid.X[0][0], ysl[0]-r.Grid.Y[0][0]),
+		QStag:    env.QConvStag,
+		Standoff: env.Standoff,
 	}, nil
+}
+
+// Fig9HemisphereNS regenerates the paper's Fig. 9 on the shared default
+// session.
+func Fig9HemisphereNS(q Quality) (*Fig9Result, error) {
+	return defaultSession().Fig9HemisphereNS(context.Background(), q)
 }

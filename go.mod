@@ -1,0 +1,3 @@
+module cataero
+
+go 1.24

@@ -9,13 +9,16 @@ package chem
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"cataero/internal/numerics"
 	"cataero/internal/thermo"
 )
 
 // EquilibriumSolver computes equilibrium compositions for a fixed species
-// set. It is not safe for concurrent use; create one per goroutine (cheap).
+// set. It is safe for concurrent use: the solves themselves work on local
+// state and the shared warm-start cache is mutex-guarded, so one solver can
+// back many simultaneous session solves.
 type EquilibriumSolver struct {
 	Mix   *thermo.Mixture
 	elems []string
@@ -23,7 +26,9 @@ type EquilibriumSolver struct {
 	z     []float64   // charge of species s
 	ions  bool
 
-	// warm-start element potentials from the previous successful solve
+	// warm-start element potentials from the previous successful solve,
+	// guarded by warmMu (everything else is read-only after construction).
+	warmMu sync.Mutex
 	warm   []float64
 	warmOK bool
 }
@@ -361,10 +366,14 @@ func (eq *EquilibriumSolver) solve(T float64, b []float64) ([]float64, error) {
 	// (hot-limit) guess.
 	var err error
 	tried := false
+	eq.warmMu.Lock()
 	if eq.warmOK && len(eq.warm) == nu {
 		copy(pi, eq.warm)
-		err = newton()
 		tried = true
+	}
+	eq.warmMu.Unlock()
+	if tried {
+		err = newton()
 	}
 	if !tried || err != nil {
 		molecularGuess(pi)
@@ -375,14 +384,18 @@ func (eq *EquilibriumSolver) solve(T float64, b []float64) ([]float64, error) {
 		err = newton()
 	}
 	if err != nil {
+		eq.warmMu.Lock()
 		eq.warmOK = false
+		eq.warmMu.Unlock()
 		return nil, err
 	}
+	eq.warmMu.Lock()
 	if eq.warm == nil || len(eq.warm) != nu {
 		eq.warm = make([]float64, nu)
 	}
 	copy(eq.warm, pi)
 	eq.warmOK = true
+	eq.warmMu.Unlock()
 
 	// Return absolute number densities.
 	out := make([]float64, ns)

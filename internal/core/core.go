@@ -1,27 +1,31 @@
 // Package core is the computational-aerothermodynamics framework of the
-// paper: a single problem specification dispatched to the four solver
-// classes (VSL, E+BL, PNS, NS) over a shared real-gas model stack, producing
-// an aerothermal-environment report (convective and radiative heating,
-// shock standoff, surface distributions). This synthesis layer — CFD solver
-// hierarchy + high-temperature gas physics + (then-) modern computers — is
-// the paper's central contribution.
+// paper: a single problem specification dispatched to a registry of solver
+// classes (VSL, E+BL, PNS, NS) over a shared, cached real-gas model stack,
+// producing an aerothermal-environment report (convective and radiative
+// heating, shock standoff, surface distributions). This synthesis layer —
+// CFD solver hierarchy + high-temperature gas physics + (then-) modern
+// computers — is the paper's central contribution.
+//
+// The architecture has three pieces:
+//
+//   - Problem/Environment: the case specification and report (this file).
+//   - Stack (stack.go): lazily-built, cached model stacks — one per
+//     chemistry — plus a keyed cache of tabulated EOS tables, shared by
+//     every solve that goes through the same stack.
+//   - Solver registry (registry.go, solvers.go): each equation set
+//     registers itself at init and the dispatcher resolves classes through
+//     the registry, so new solver classes plug in without touching core.
+//
+// SolveWith/ShockShapeWith are the session-oriented entry points (explicit
+// context and stack); Solve/ShockShape are the legacy one-shot wrappers
+// over a package-level default stack.
 package core
 
 import (
+	"context"
 	"fmt"
-	"math"
 
-	"cataero/internal/blayer"
-	"cataero/internal/chem"
-	"cataero/internal/euler"
-	"cataero/internal/gas"
 	"cataero/internal/geometry"
-	"cataero/internal/ns"
-	"cataero/internal/pns"
-	"cataero/internal/radiation"
-	"cataero/internal/thermo"
-	"cataero/internal/transport"
-	"cataero/internal/vsl"
 )
 
 // SolverClass selects one of the paper's four equation sets.
@@ -58,10 +62,27 @@ func (c SolverClass) String() string {
 type GasChemistry int
 
 const (
-	IdealGas GasChemistry = iota
+	// ChemistryUnset lets the session (or the legacy ideal-gas default)
+	// choose the chemistry.
+	ChemistryUnset GasChemistry = iota
+	IdealGas
 	EquilibriumAir
 	EquilibriumTitan
 )
+
+func (c GasChemistry) String() string {
+	switch c {
+	case ChemistryUnset:
+		return "unset"
+	case IdealGas:
+		return "ideal gas"
+	case EquilibriumAir:
+		return "equilibrium air"
+	case EquilibriumTitan:
+		return "equilibrium Titan"
+	}
+	return "unknown"
+}
 
 // Problem is a complete aerothermal case specification.
 type Problem struct {
@@ -84,9 +105,17 @@ type Problem struct {
 	Radiation bool
 
 	// Discretization hints.
-	NStations int // surface stations (EBL/PNS)
+	NStations int // surface stations (EBL/PNS, default 20); VSL profile points (default 60)
 	NI, NJ    int // grid cells (NS)
 	MaxSteps  int
+
+	// Standoff optionally places the outer grid boundary as a function of
+	// arc length (Euler shock-shape solves); nil uses the solver default.
+	Standoff func(s float64) float64
+
+	// Mu and K optionally override the NS-class transport closures (e.g.
+	// equilibrium-composition viscosity/conductivity); nil uses Sutherland.
+	Mu, K func(T float64) float64
 }
 
 // SurfacePoint is one station of a surface distribution.
@@ -104,245 +133,95 @@ type Environment struct {
 	Standoff    float64 // shock standoff, m
 	Surface     []SurfacePoint
 	Description string
+	// Raw optionally carries the solver-specific result (e.g. *ns.Result
+	// for field post-processing); nil when the class has no richer payload.
+	Raw any
 }
 
-// airStack bundles the shared real-gas models for air.
-type airStack struct {
-	mix *thermo.Mixture
-	eq  *chem.EquilibriumSolver
-	tr  *transport.Mixture
-	y0  []float64
-}
-
-func newAirStack() airStack {
-	m := thermo.NewMixture(thermo.AirSpecies11())
-	return airStack{
-		mix: m,
-		eq:  chem.NewEquilibriumSolver(m),
-		tr:  transport.NewMixture(m),
-		y0:  thermo.AirFreestreamMassFractions(m.Species),
-	}
-}
-
-func newTitanStack() airStack {
-	m := thermo.NewMixture(thermo.TitanSpecies())
-	return airStack{
-		mix: m,
-		eq:  chem.NewEquilibriumSolver(m),
-		tr:  transport.NewMixture(m),
-		y0:  thermo.TitanFreestreamMassFractions(m.Species),
-	}
-}
-
-// Solve dispatches the problem to its solver class.
-func Solve(p Problem) (*Environment, error) {
+// normalize validates the freestream and geometry and fills defaults.
+func normalize(p Problem) (Problem, error) {
 	if p.VInf <= 0 || p.PInf <= 0 || p.TInf <= 0 {
-		return nil, fmt.Errorf("core: freestream required")
+		return p, fmt.Errorf("core: freestream required")
 	}
 	if p.Body == nil {
 		if p.NoseRadius <= 0 {
-			return nil, fmt.Errorf("core: body or nose radius required")
+			return p, fmt.Errorf("core: body or nose radius required")
 		}
 		p.Body = geometry.NewSphere(p.NoseRadius)
 	}
 	if p.NoseRadius == 0 {
 		p.NoseRadius = p.Body.NoseRadius()
 	}
+	if p.Chemistry == ChemistryUnset {
+		p.Chemistry = IdealGas
+	}
 	if p.TWall == 0 {
 		p.TWall = 1200
 	}
-	if p.NStations == 0 {
-		p.NStations = 20
-	}
 	if p.Gamma == 0 {
 		p.Gamma = 1.4
 	}
-	switch p.Class {
-	case VSL:
-		return solveVSL(p)
-	case EBL:
-		return solveEBL(p)
-	case PNS:
-		return solvePNS(p)
-	case NS:
-		return solveNS(p)
-	}
-	return nil, fmt.Errorf("core: unknown solver class %d", p.Class)
+	return p, nil
 }
 
-func stackFor(p Problem) (airStack, *radiation.Model, error) {
-	switch p.Chemistry {
-	case EquilibriumAir:
-		st := newAirStack()
-		var rad *radiation.Model
-		if p.Radiation {
-			rad = radiation.NewAirModel(st.mix, 300)
-		}
-		return st, rad, nil
-	case EquilibriumTitan:
-		st := newTitanStack()
-		var rad *radiation.Model
-		if p.Radiation {
-			rad = radiation.NewTitanModel(st.mix, 300)
-		}
-		return st, rad, nil
-	default:
-		return airStack{}, nil, fmt.Errorf("core: solver class %s needs an equilibrium chemistry model", p.Class)
+// stations resolves the surface-station count for the EBL/PNS classes.
+// (The zero value stays zero through normalize so the VSL class can keep
+// its own, finer profile default.)
+func stations(p Problem) int {
+	if p.NStations > 0 {
+		return p.NStations
 	}
+	return 20
 }
 
-func solveVSL(p Problem) (*Environment, error) {
-	st, rad, err := stackFor(p)
+// SolveWith dispatches the problem through the solver registry against the
+// given model stack. This is the session entry point: the stack's caches
+// make repeated and batched solves cheap, and the context is threaded into
+// the solver iteration loops.
+func SolveWith(ctx context.Context, st *Stack, p Problem) (*Environment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		st = DefaultStack()
+	}
+	p, err := normalize(p)
 	if err != nil {
 		return nil, err
 	}
-	r, err := vsl.Solve(vsl.Inputs{
-		Mix: st.mix, Eq: st.eq, Tr: st.tr, Rad: rad, Y0: st.y0,
-		PInf: p.PInf, TInf: p.TInf, VInf: p.VInf,
-		Rn: p.NoseRadius, TWall: p.TWall,
-	})
+	s, err := Lookup(p.Class)
 	if err != nil {
 		return nil, err
 	}
-	return &Environment{
-		Class: VSL, QConvStag: r.QConv, QRadStag: r.QRad, Standoff: r.Standoff,
-		Description: fmt.Sprintf("VSL stagnation line, %s", st.mix.Species[0].Name),
-	}, nil
+	return s.Solve(ctx, st, p)
 }
 
-func solveEBL(p Problem) (*Environment, error) {
-	st, _, err := stackFor(p)
-	if err != nil {
-		return nil, err
-	}
-	fs := blayer.FreeStream{P: p.PInf, T: p.TInf, V: p.VInf,
-		Rho: st.mix.Density(p.PInf, p.TInf, st.y0)}
-	edges, err := blayer.EdgeDistribution(st.eq, st.tr, st.y0, fs, p.Body, p.NStations)
-	if err != nil {
-		return nil, err
-	}
-	in, err := blayer.StagnationFromFreestream(st.eq, st.y0, fs, p.TWall, p.NoseRadius)
-	if err != nil {
-		return nil, err
-	}
-	sol, err := blayer.SolveStagnation(st.mix, st.tr, in.Edge, p.TWall, p.PInf, p.NoseRadius,
-		blayer.SimilarityOptions{GammaW: p.GammaW})
-	if err != nil {
-		return nil, err
-	}
-	lees := blayer.LeesDistribution(edges, p.NoseRadius, p.PInf)
-	env := &Environment{Class: EBL, QConvStag: sol.QWall,
-		Description: "Euler(Newtonian)+BL with catalytic wall"}
-	for i, e := range edges {
-		env.Surface = append(env.Surface, SurfacePoint{S: e.S, Q: sol.QWall * lees[i], P: e.P})
-	}
-	return env, nil
+// Solve dispatches the problem to its solver class over the package default
+// stack.
+//
+// Deprecated: use SolveWith (or the root package's Session) for explicit
+// cancellation and cache control.
+func Solve(p Problem) (*Environment, error) {
+	return SolveWith(context.Background(), DefaultStack(), p)
 }
 
-func solvePNS(p Problem) (*Environment, error) {
-	st, _, err := stackFor(p)
-	if err != nil {
-		return nil, err
-	}
-	fs := blayer.FreeStream{P: p.PInf, T: p.TInf, V: p.VInf,
-		Rho: st.mix.Density(p.PInf, p.TInf, st.y0)}
-	edges, err := blayer.EdgeDistribution(st.eq, st.tr, st.y0, fs, p.Body, p.NStations)
-	if err != nil {
-		return nil, err
-	}
-	hw, err := pns.WallEnthalpyEquilibrium(st.eq, st.y0, edges[0].P, p.TWall)
-	if err != nil {
-		return nil, err
-	}
-	res, err := pns.March(edges, pns.EquilibriumProps(st.eq, st.tr, st.y0),
-		hw, edges[0].H, p.NoseRadius, p.PInf, pns.Options{})
-	if err != nil {
-		return nil, err
-	}
-	env := &Environment{Class: PNS, QConvStag: res[0].Q,
-		Description: "PNS space march on the windward equivalent body"}
-	for _, r := range res {
-		env.Surface = append(env.Surface, SurfacePoint{S: r.S, Q: r.Q, P: r.Edge.P})
-	}
-	return env, nil
+// ShockEnvelope is the result of an Euler bow-shock solve: the shock locus,
+// the wall nodes it envelopes, and the stagnation-line standoff.
+type ShockEnvelope struct {
+	X, Y         []float64 // bow-shock locus
+	BodyX, BodyY []float64 // wall nodes for reference
+	Standoff     float64   // stagnation-line standoff, m
 }
 
-func solveNS(p Problem) (*Environment, error) {
-	var model gas.Model
-	switch p.Chemistry {
-	case IdealGas:
-		model = gas.NewIdeal(p.Gamma, 287.05)
-	case EquilibriumAir:
-		eqm := gas.NewEquilibriumAir()
-		rhoInf := eqm.Mix.Density(p.PInf, p.TInf,
-			thermo.AirFreestreamMassFractions(eqm.Mix.Species))
-		eMax := 2.0 * (0.5*p.VInf*p.VInf + 1e6)
-		tab, err := gas.NewTable(eqm, rhoInf*0.05, rhoInf*40, 1e5, eMax, 30, 30)
-		if err != nil {
-			return nil, err
-		}
-		model = tab
-	default:
-		return nil, fmt.Errorf("core: NS class supports ideal or equilibrium air")
-	}
-	r, err := ns.Solve(ns.Case{
-		Gas: model, Rn: p.NoseRadius,
-		NI: p.NI, NJ: p.NJ,
-		VInf: p.VInf, PInf: p.PInf, TInf: p.TInf,
-		TWall: p.TWall, MaxSteps: p.MaxSteps,
-	})
-	if err != nil {
-		return nil, err
-	}
-	env := &Environment{Class: NS, QConvStag: r.QWall[0],
-		Description: "thin-layer NS, axisymmetric hemisphere"}
-	for i := range r.QWall {
-		q := r.Solver.Primitive(i, 0)
-		env.Surface = append(env.Surface, SurfacePoint{S: r.S[i], Q: r.QWall[i], P: q.P})
-	}
-	// Stagnation standoff from the shock locus.
-	xs, ysl := r.Solver.ShockLocus(2.5)
-	env.Standoff = math.Hypot(xs[0]-r.Grid.X[0][0], ysl[0]-r.Grid.Y[0][0])
-	return env, nil
-}
-
-// ShockShape computes an Euler bow-shock locus (the Fig. 4 machinery)
-// directly from a problem specification; ideal or equilibrium chemistry.
+// ShockShape computes an Euler bow-shock locus for a problem (Fig. 4
+// machinery): ideal or equilibrium air.
+//
+// Deprecated: use ShockShapeWith (or the root package's Session) for
+// explicit cancellation and cache control.
 func ShockShape(p Problem) (xs, ys []float64, standoff float64, err error) {
-	if p.Gamma == 0 {
-		p.Gamma = 1.4
-	}
-	var model gas.Model
-	switch p.Chemistry {
-	case IdealGas:
-		model = gas.NewIdeal(p.Gamma, 287.05)
-	case EquilibriumAir:
-		eqm := gas.NewEquilibriumAir()
-		rhoInf := eqm.Mix.Density(p.PInf, p.TInf,
-			thermo.AirFreestreamMassFractions(eqm.Mix.Species))
-		eMax := 2.0 * (0.5*p.VInf*p.VInf + 1e6)
-		tab, e := gas.NewTable(eqm, rhoInf*0.05, rhoInf*60, 1e5, eMax, 30, 30)
-		if e != nil {
-			return nil, nil, 0, e
-		}
-		model = tab
-	default:
-		return nil, nil, 0, fmt.Errorf("core: shock shape needs ideal or equilibrium air")
-	}
-	if p.Body == nil {
-		if p.NoseRadius <= 0 {
-			return nil, nil, 0, fmt.Errorf("core: body required")
-		}
-		p.Body = geometry.NewSphere(p.NoseRadius)
-	}
-	res, err := euler.Solve(euler.Case{
-		Gas: model, Body: p.Body,
-		NI: p.NI, NJ: p.NJ,
-		VInf: p.VInf, PInf: p.PInf, TInf: p.TInf,
-		MaxSteps: p.MaxSteps,
-	})
+	env, err := ShockShapeWith(context.Background(), DefaultStack(), p)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	return res.ShockX, res.ShockY, res.Standoff, nil
+	return env.X, env.Y, env.Standoff, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -158,5 +160,131 @@ func TestProblemValidation(t *testing.T) {
 	p.Chemistry = IdealGas
 	if _, err := Solve(p); err == nil {
 		t.Error("VSL with ideal gas should demand equilibrium chemistry")
+	}
+}
+
+func TestDispatchUnknownClass(t *testing.T) {
+	p := entryProblem(SolverClass(99))
+	if _, err := Solve(p); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestRegistryContents(t *testing.T) {
+	got := Registered()
+	want := []SolverClass{VSL, EBL, PNS, NS}
+	if len(got) != len(want) {
+		t.Fatalf("registered classes %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered classes %v, want %v", got, want)
+		}
+	}
+	for _, c := range want {
+		s, err := Lookup(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() == "" {
+			t.Errorf("class %s solver has no name", c)
+		}
+	}
+	if _, err := Lookup(SolverClass(42)); err == nil {
+		t.Error("lookup of unregistered class succeeded")
+	}
+}
+
+func TestDispatchPNSIdealGas(t *testing.T) {
+	p := entryProblem(PNS)
+	p.Chemistry = IdealGas
+	p.Gamma = 1.2
+	env, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.QConvStag <= 0 {
+		t.Error("no ideal-gas PNS stagnation heating")
+	}
+	if len(env.Surface) != p.NStations {
+		t.Errorf("surface points %d", len(env.Surface))
+	}
+	// Heating decays along the body, as in the equilibrium march.
+	if env.Surface[len(env.Surface)-1].Q > env.Surface[0].Q {
+		t.Error("ideal-gas heating should decay along the body")
+	}
+}
+
+func TestStackModelCache(t *testing.T) {
+	st := NewStack()
+	a, err := st.Models(EquilibriumAir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Models(EquilibriumAir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated Models lookups should return the cached pointer")
+	}
+	ti, err := st.Models(EquilibriumTitan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti == a {
+		t.Error("distinct chemistries must not share a model set")
+	}
+	if _, err := st.Models(IdealGas); err == nil {
+		t.Error("ideal gas should have no equilibrium model stack")
+	}
+	if _, err := st.Models(ChemistryUnset); err == nil {
+		t.Error("unset chemistry should have no model stack")
+	}
+	r1, err := st.Radiation(EquilibriumTitan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := st.Radiation(EquilibriumTitan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("repeated Radiation lookups should return the cached pointer")
+	}
+}
+
+func TestStackTableCache(t *testing.T) {
+	st := NewStack()
+	spec := TableSpec{RhoMin: 1e-4, RhoMax: 1.0, EMin: 2e5, EMax: 3e7, NR: 8, NE: 8}
+	t1, err := st.Table(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := st.Table(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("identical specs should share one table")
+	}
+	if n := st.TableBuilds(); n != 1 {
+		t.Errorf("table built %d times, want 1", n)
+	}
+	spec.NR = 9
+	if _, err := st.Table(spec); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.TableBuilds(); n != 2 {
+		t.Errorf("table built %d times after second spec, want 2", n)
+	}
+}
+
+func TestSolveWithCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveWith(ctx, NewStack(), entryProblem(VSL))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

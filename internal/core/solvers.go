@@ -1,0 +1,266 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"cataero/internal/blayer"
+	"cataero/internal/euler"
+	"cataero/internal/gas"
+	"cataero/internal/ns"
+	"cataero/internal/pns"
+	"cataero/internal/radiation"
+	"cataero/internal/vsl"
+)
+
+// The paper's four equation sets register themselves here; the dispatcher
+// in SolveWith only ever consults the registry.
+func init() {
+	Register(VSL, vslSolver{})
+	Register(EBL, eblSolver{})
+	Register(PNS, pnsSolver{})
+	Register(NS, nsSolver{})
+}
+
+// equilibriumModels pulls the cached model set and optional radiation model
+// for a problem that requires equilibrium chemistry.
+func equilibriumModels(st *Stack, p Problem) (*Models, *radiation.Model, error) {
+	m, err := st.Models(p.Chemistry)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: solver class %s needs an equilibrium chemistry model: %w", p.Class, err)
+	}
+	var rad *radiation.Model
+	if p.Radiation {
+		if rad, err = st.Radiation(p.Chemistry); err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, rad, nil
+}
+
+// nsTableSpec is the tabulation rectangle for an NS-class equilibrium-air
+// solve: bounds derived deterministically from the freestream so repeated
+// solves of the same condition share one cached table.
+func nsTableSpec(rhoInf, vInf float64) TableSpec {
+	return TableSpec{
+		RhoMin: rhoInf * 0.05, RhoMax: rhoInf * 40,
+		EMin: 1e5, EMax: 2.0 * (0.5*vInf*vInf + 1e6),
+		NR: 30, NE: 30,
+	}
+}
+
+// shockTableSpec is the (wider-density) rectangle for Euler shock-shape
+// solves, which see stronger compressions off the stagnation line.
+func shockTableSpec(rhoInf, vInf float64) TableSpec {
+	return TableSpec{
+		RhoMin: rhoInf * 0.05, RhoMax: rhoInf * 60,
+		EMin: 1e5, EMax: 2.0 * (0.5*vInf*vInf + 1e6),
+		NR: 30, NE: 30,
+	}
+}
+
+// gasModelFor resolves the (rho, e) EOS for NS/Euler solves: closed-form
+// ideal gas, or the cached equilibrium-air table.
+func gasModelFor(st *Stack, p Problem, spec func(rhoInf, vInf float64) TableSpec) (gas.Model, error) {
+	switch p.Chemistry {
+	case IdealGas:
+		return gas.NewIdeal(p.Gamma, 287.05), nil
+	case EquilibriumAir:
+		m, err := st.Models(EquilibriumAir)
+		if err != nil {
+			return nil, err
+		}
+		rhoInf := m.Mix.Density(p.PInf, p.TInf, m.Y0)
+		return st.Table(spec(rhoInf, p.VInf))
+	default:
+		return nil, fmt.Errorf("core: %s class supports ideal or equilibrium air", p.Class)
+	}
+}
+
+// --- VSL: stagnation-line viscous shock layer ---
+
+type vslSolver struct{}
+
+func (vslSolver) Name() string { return "vsl" }
+
+func (vslSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment, error) {
+	m, rad, err := equilibriumModels(st, p)
+	if err != nil {
+		return nil, err
+	}
+	r, err := vsl.Solve(ctx, vsl.Inputs{
+		Mix: m.Mix, Eq: m.Eq, Tr: m.Tr, Rad: rad, Y0: m.Y0,
+		PInf: p.PInf, TInf: p.TInf, VInf: p.VInf,
+		Rn: p.NoseRadius, TWall: p.TWall, NPts: p.NStations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Environment{
+		Class: VSL, QConvStag: r.QConv, QRadStag: r.QRad, Standoff: r.Standoff,
+		Description: fmt.Sprintf("VSL stagnation line, %s", m.Mix.Species[0].Name),
+		Raw:         r,
+	}, nil
+}
+
+// --- EBL: Euler (Newtonian) + boundary layer ---
+
+type eblSolver struct{}
+
+func (eblSolver) Name() string { return "ebl" }
+
+func (eblSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment, error) {
+	m, _, err := equilibriumModels(st, p)
+	if err != nil {
+		return nil, err
+	}
+	fs := blayer.FreeStream{P: p.PInf, T: p.TInf, V: p.VInf,
+		Rho: m.Mix.Density(p.PInf, p.TInf, m.Y0)}
+	edges, err := blayer.EdgeDistribution(m.Eq, m.Tr, m.Y0, fs, p.Body, stations(p))
+	if err != nil {
+		return nil, err
+	}
+	in, err := blayer.StagnationFromFreestream(m.Eq, m.Y0, fs, p.TWall, p.NoseRadius)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sol, err := blayer.SolveStagnation(m.Mix, m.Tr, in.Edge, p.TWall, p.PInf, p.NoseRadius,
+		blayer.SimilarityOptions{GammaW: p.GammaW})
+	if err != nil {
+		return nil, err
+	}
+	lees := blayer.LeesDistribution(edges, p.NoseRadius, p.PInf)
+	env := &Environment{Class: EBL, QConvStag: sol.QWall,
+		Description: "Euler(Newtonian)+BL with catalytic wall"}
+	for i, e := range edges {
+		env.Surface = append(env.Surface, SurfacePoint{S: e.S, Q: sol.QWall * lees[i], P: e.P})
+	}
+	return env, nil
+}
+
+// --- PNS: parabolized space march ---
+
+type pnsSolver struct{}
+
+func (pnsSolver) Name() string { return "pns" }
+
+func (pnsSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment, error) {
+	var (
+		edges []blayer.EdgeState
+		props pns.Props
+		hw    float64
+		err   error
+	)
+	switch p.Chemistry {
+	case IdealGas:
+		const R = 287.05
+		fs := blayer.FreeStream{P: p.PInf, T: p.TInf, V: p.VInf,
+			Rho: p.PInf / (R * p.TInf)}
+		edges, err = pns.IdealEdgeDistribution(p.Gamma, R, fs, p.Body, stations(p))
+		if err != nil {
+			return nil, err
+		}
+		props = pns.IdealProps(p.Gamma, R)
+		hw = p.Gamma * R / (p.Gamma - 1) * p.TWall
+	default:
+		m, _, err2 := equilibriumModels(st, p)
+		if err2 != nil {
+			return nil, err2
+		}
+		fs := blayer.FreeStream{P: p.PInf, T: p.TInf, V: p.VInf,
+			Rho: m.Mix.Density(p.PInf, p.TInf, m.Y0)}
+		edges, err = blayer.EdgeDistribution(m.Eq, m.Tr, m.Y0, fs, p.Body, stations(p))
+		if err != nil {
+			return nil, err
+		}
+		props = pns.EquilibriumProps(m.Eq, m.Tr, m.Y0)
+		hw, err = pns.WallEnthalpyEquilibrium(m.Eq, m.Y0, edges[0].P, p.TWall)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := pns.March(ctx, edges, props, hw, edges[0].H, p.NoseRadius, p.PInf, pns.Options{})
+	if err != nil {
+		return nil, err
+	}
+	env := &Environment{Class: PNS, QConvStag: res[0].Q,
+		Description: fmt.Sprintf("PNS space march on the windward equivalent body (%s)", p.Chemistry)}
+	for _, r := range res {
+		env.Surface = append(env.Surface, SurfacePoint{S: r.S, Q: r.Q, P: r.Edge.P})
+	}
+	return env, nil
+}
+
+// --- NS: thin-layer Navier-Stokes ---
+
+type nsSolver struct{}
+
+func (nsSolver) Name() string { return "ns" }
+
+func (nsSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment, error) {
+	model, err := gasModelFor(st, p, nsTableSpec)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ns.Solve(ctx, ns.Case{
+		Gas: model, Rn: p.NoseRadius,
+		NI: p.NI, NJ: p.NJ,
+		VInf: p.VInf, PInf: p.PInf, TInf: p.TInf,
+		TWall: p.TWall, MaxSteps: p.MaxSteps,
+		Mu: p.Mu, K: p.K,
+	})
+	if err != nil {
+		return nil, err
+	}
+	env := &Environment{Class: NS, QConvStag: r.QWall[0],
+		Description: "thin-layer NS, axisymmetric hemisphere",
+		Raw:         r,
+	}
+	for i := range r.QWall {
+		q := r.Solver.Primitive(i, 0)
+		env.Surface = append(env.Surface, SurfacePoint{S: r.S[i], Q: r.QWall[i], P: q.P})
+	}
+	// Stagnation standoff from the shock locus.
+	xs, ysl := r.Solver.ShockLocus(2.5)
+	env.Standoff = math.Hypot(xs[0]-r.Grid.X[0][0], ysl[0]-r.Grid.Y[0][0])
+	return env, nil
+}
+
+// ShockShapeWith computes an Euler bow-shock envelope (the Fig. 4
+// machinery) against the given stack: ideal or equilibrium air, with the
+// EOS table cached per freestream condition.
+func ShockShapeWith(ctx context.Context, st *Stack, p Problem) (*ShockEnvelope, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		st = DefaultStack()
+	}
+	p, err := normalize(p)
+	if err != nil {
+		return nil, err
+	}
+	model, err := gasModelFor(st, p, shockTableSpec)
+	if err != nil {
+		return nil, fmt.Errorf("core: shock shape: %w", err)
+	}
+	res, err := euler.Solve(ctx, euler.Case{
+		Gas: model, Body: p.Body,
+		NI: p.NI, NJ: p.NJ,
+		VInf: p.VInf, PInf: p.PInf, TInf: p.TInf,
+		MaxSteps: p.MaxSteps,
+		Standoff: p.Standoff,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShockEnvelope{
+		X: res.ShockX, Y: res.ShockY,
+		BodyX: res.BodyX, BodyY: res.BodyY,
+		Standoff: res.Standoff,
+	}, nil
+}

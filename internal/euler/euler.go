@@ -8,6 +8,7 @@
 package euler
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -43,8 +44,10 @@ type Result struct {
 	Residual float64
 }
 
-// Solve runs the case to steady state and extracts the shock locus.
-func Solve(c Case) (*Result, error) {
+// Solve runs the case to steady state and extracts the shock locus. The
+// context is threaded into the time-marching loop; cancellation aborts the
+// solve with ctx.Err().
+func Solve(ctx context.Context, c Case) (*Result, error) {
 	if c.Body == nil || c.Gas == nil {
 		return nil, fmt.Errorf("euler: body and gas model required")
 	}
@@ -82,7 +85,7 @@ func Solve(c Case) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Run(c.MaxSteps, 5e-4)
+	res, err := s.RunCtx(ctx, c.MaxSteps, 5e-4)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package euler
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestSphereEulerIdeal(t *testing.T) {
 	body := geometry.NewSphere(0.5)
-	r, err := Solve(Case{
+	r, err := Solve(context.Background(), Case{
 		Gas:  gas.NewIdealAir(),
 		Body: body,
 		NI:   14, NJ: 22,
@@ -49,7 +50,7 @@ func TestOrbiterPitchPlaneBody(t *testing.T) {
 }
 
 func TestEulerErrors(t *testing.T) {
-	if _, err := Solve(Case{}); err == nil {
+	if _, err := Solve(context.Background(), Case{}); err == nil {
 		t.Error("empty case accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package fvm
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -280,12 +281,25 @@ func (s *Solver) applyUpdate(frac float64) {
 // Run iterates until the density residual falls by dropTol relative to its
 // initial value or maxSteps is reached. Returns the final residual.
 func (s *Solver) Run(maxSteps int, dropTol float64) (float64, error) {
+	return s.RunCtx(context.Background(), maxSteps, dropTol)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is polled every
+// few time steps and a cancellation aborts the march with ctx.Err().
+func (s *Solver) RunCtx(ctx context.Context, maxSteps int, dropTol float64) (float64, error) {
 	if maxSteps <= 0 {
 		maxSteps = 2000
 	}
 	first := -1.0
 	res := 0.0
 	for n := 0; n < maxSteps; n++ {
+		if n%16 == 0 {
+			select {
+			case <-ctx.Done():
+				return res, ctx.Err()
+			default:
+			}
+		}
 		res = s.Step()
 		if math.IsNaN(res) {
 			return res, fmt.Errorf("fvm: residual NaN at step %d", n)

@@ -6,6 +6,7 @@
 package ns
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -41,8 +42,9 @@ type Result struct {
 	S      []float64 // wall arc length per station
 }
 
-// Solve runs the case to steady state.
-func Solve(c Case) (*Result, error) {
+// Solve runs the case to steady state. The context is threaded into the
+// time-marching loop; cancellation aborts the solve with ctx.Err().
+func Solve(ctx context.Context, c Case) (*Result, error) {
 	if c.Gas == nil {
 		return nil, fmt.Errorf("ns: gas model required")
 	}
@@ -90,7 +92,7 @@ func Solve(c Case) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := s.Run(c.MaxSteps, 5e-4); err != nil {
+	if _, err := s.RunCtx(ctx, c.MaxSteps, 5e-4); err != nil {
 		return nil, err
 	}
 	res := &Result{Solver: s, Grid: g, QWall: s.WallHeatFlux()}

@@ -1,6 +1,7 @@
 package ns
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestHemisphereNS(t *testing.T) {
 		t.Skip("NS solve in short mode")
 	}
 	c, eqm := fig9Case(t)
-	r, err := Solve(c)
+	r, err := Solve(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,10 +89,10 @@ func TestHemisphereNS(t *testing.T) {
 }
 
 func TestNSErrors(t *testing.T) {
-	if _, err := Solve(Case{}); err == nil {
+	if _, err := Solve(context.Background(), Case{}); err == nil {
 		t.Error("empty case accepted")
 	}
-	if _, err := Solve(Case{Gas: gas.NewIdealAir()}); err == nil {
+	if _, err := Solve(context.Background(), Case{Gas: gas.NewIdealAir()}); err == nil {
 		t.Error("missing radius accepted")
 	}
 }

@@ -10,6 +10,7 @@
 package pns
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,8 +43,9 @@ type StationResult struct {
 
 // March runs the parabolized space-march along the edge-state sequence
 // (station 0 must be the stagnation point). hw is the wall static enthalpy,
-// H0 the total (stagnation) enthalpy of the edge streamline.
-func March(edges []blayer.EdgeState, props Props, hw, h0 float64, rn float64, pInf float64, opts Options) ([]StationResult, error) {
+// H0 the total (stagnation) enthalpy of the edge streamline. The context is
+// polled between marching stations; cancellation aborts with ctx.Err().
+func March(ctx context.Context, edges []blayer.EdgeState, props Props, hw, h0 float64, rn float64, pInf float64, opts Options) ([]StationResult, error) {
 	if len(edges) < 3 {
 		return nil, fmt.Errorf("pns: need at least 3 stations")
 	}
@@ -226,6 +228,9 @@ func March(edges []blayer.EdgeState, props Props, hw, h0 float64, rn float64, pI
 	copy(fp, f)
 
 	for k := 1; k < len(edges); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a, b := edges[k-1], edges[k]
 		fa := a.Rho * a.Mu * a.Ue * a.R * a.R
 		fb := b.Rho * b.Mu * b.Ue * b.R * b.R

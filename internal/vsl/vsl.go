@@ -8,6 +8,7 @@
 package vsl
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -48,8 +49,9 @@ type Result struct {
 	Species [][]float64 // equilibrium mass fractions at each point
 }
 
-// Solve computes the stagnation-line viscous shock layer.
-func Solve(in Inputs) (*Result, error) {
+// Solve computes the stagnation-line viscous shock layer. The context is
+// polled between profile points; cancellation aborts with ctx.Err().
+func Solve(ctx context.Context, in Inputs) (*Result, error) {
 	if in.NPts == 0 {
 		in.NPts = 60
 	}
@@ -95,6 +97,9 @@ func Solve(in Inputs) (*Result, error) {
 	res.H = make([]float64, in.NPts)
 	res.Species = make([][]float64, in.NPts)
 	for i, y := range ys {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var g float64
 		if n := len(sim.YPhys); y <= sim.YPhys[n-1] {
 			g = numerics.LinearInterp(sim.YPhys, sim.G, y)
@@ -141,24 +146,34 @@ type PulsePoint struct {
 	QConv, QRad float64 // W/m^2
 }
 
+// SignificantHeating reports whether a trajectory point is worth a VSL
+// solve: positive density, hypersonic velocity and non-negligible dynamic
+// pressure. Shared by HeatingPulse and the batch-mode Fig. 2 runner so the
+// two sweeps stay in lockstep.
+func SignificantHeating(tp atmosphere.TrajectoryPoint) bool {
+	if tp.Density <= 0 || tp.Velocity < 1500 {
+		return false
+	}
+	return 0.5*tp.Density*tp.Velocity*tp.Velocity >= 50 // negligible heating this high up
+}
+
 // HeatingPulse runs the stagnation-line VSL along an entry trajectory,
 // returning convective and radiative stagnation heating versus time (the
 // paper's Fig. 2). Points with negligible dynamic pressure are skipped.
-func HeatingPulse(in Inputs, atm atmosphere.Model, traj []atmosphere.TrajectoryPoint) ([]PulsePoint, error) {
+func HeatingPulse(ctx context.Context, in Inputs, atm atmosphere.Model, traj []atmosphere.TrajectoryPoint) ([]PulsePoint, error) {
 	var out []PulsePoint
 	for _, tp := range traj {
-		if tp.Density <= 0 || tp.Velocity < 1500 {
-			continue
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		q := 0.5 * tp.Density * tp.Velocity * tp.Velocity
-		if q < 50 { // negligible heating this high up
+		if !SignificantHeating(tp) {
 			continue
 		}
 		ci := in
 		ci.PInf = tp.Pressure
 		ci.TInf = tp.Temp
 		ci.VInf = tp.Velocity
-		r, err := Solve(ci)
+		r, err := Solve(ctx, ci)
 		if err != nil {
 			// Individual trajectory points may sit outside the equilibrium
 			// solver's range right at the entry interface; skip them rather

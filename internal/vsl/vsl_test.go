@@ -1,6 +1,7 @@
 package vsl
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -28,7 +29,7 @@ func titanInputs(t *testing.T) Inputs {
 
 func TestTitanStagnationLine(t *testing.T) {
 	in := titanInputs(t)
-	r, err := Solve(in)
+	r, err := Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestTitanSpeciesProfile(t *testing.T) {
 	// The Fig. 3 content: near the wall the gas is recombined (N2, CH4
 	// products); in the hot layer CN, H, H2 appear; N2 dominates everywhere.
 	in := titanInputs(t)
-	r, err := Solve(in)
+	r, err := Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestHeatingPulseShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pulse, err := HeatingPulse(in, ti, traj)
+	pulse, err := HeatingPulse(context.Background(), in, ti, traj)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,195 @@
+package cataero
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"cataero/internal/core"
+)
+
+// Session is the primary entry point of the toolkit: a reusable, configured
+// pipeline over the paper's solver hierarchy. A session owns a shared model
+// stack — per-chemistry thermo/chemistry/transport models and a keyed cache
+// of tabulated equilibrium EOS tables, all built lazily on first use — so
+// repeated solves and parameter sweeps stop paying model-construction cost.
+// Sessions are safe for concurrent use.
+type Session struct {
+	stack   *core.Stack
+	chem    GasChemistry
+	quality Quality
+	workers int
+	gamma   float64
+}
+
+// Option configures a Session at construction.
+type Option func(*Session)
+
+// WithChemistry sets the default gas chemistry stamped onto problems whose
+// Chemistry field is left at ChemistryUnset.
+func WithChemistry(c GasChemistry) Option {
+	return func(s *Session) { s.chem = c }
+}
+
+// WithQuality sets the default grid quality: 1 (default) leaves the solver
+// defaults; 2 or higher fills finer grids into problems that do not specify
+// their own discretization.
+func WithQuality(q Quality) Option {
+	return func(s *Session) { s.quality = q }
+}
+
+// WithWorkers bounds the SolveBatch worker pool (default GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithGamma sets the default ideal-gas specific-heat ratio for problems
+// that leave Gamma at zero (the solver default is 1.4).
+func WithGamma(g float64) Option {
+	return func(s *Session) {
+		if g > 1 {
+			s.gamma = g
+		}
+	}
+}
+
+// NewSession builds a session from functional options. The zero
+// configuration is useful as-is: solver-default grids, GOMAXPROCS batch
+// workers, chemistry taken from each problem.
+func NewSession(opts ...Option) *Session {
+	s := &Session{
+		stack:   core.NewStack(),
+		workers: runtime.GOMAXPROCS(0),
+		quality: 1,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// apply stamps the session defaults onto a problem specification.
+func (s *Session) apply(p Problem) Problem {
+	if p.Chemistry == ChemistryUnset && s.chem != ChemistryUnset {
+		p.Chemistry = s.chem
+	}
+	if p.Gamma == 0 && s.gamma != 0 {
+		p.Gamma = s.gamma
+	}
+	if s.quality >= 2 {
+		if p.NStations == 0 {
+			p.NStations = 30
+		}
+		if p.NI == 0 {
+			p.NI = 24
+		}
+		if p.NJ == 0 {
+			p.NJ = 40
+		}
+		if p.MaxSteps == 0 {
+			p.MaxSteps = 6000
+		}
+	}
+	return p
+}
+
+// Solve dispatches one problem through the solver registry against the
+// session's cached model stack. The context is threaded into the solver
+// iteration loops; cancellation aborts with ctx.Err().
+func (s *Session) Solve(ctx context.Context, p Problem) (*Environment, error) {
+	return core.SolveWith(ctx, s.stack, s.apply(p))
+}
+
+// ShockShape computes an Euler bow-shock envelope (ideal or equilibrium
+// air) against the session's cached model stack.
+func (s *Session) ShockShape(ctx context.Context, p Problem) (*ShockEnvelope, error) {
+	return core.ShockShapeWith(ctx, s.stack, s.apply(p))
+}
+
+// Result is one SolveBatch outcome: the problem it came from, and either an
+// environment or that problem's error.
+type Result struct {
+	Index   int
+	Problem Problem
+	Env     *Environment
+	Err     error
+}
+
+// ShockResult is one ShockShapeBatch outcome.
+type ShockResult struct {
+	Index   int
+	Problem Problem
+	Env     *ShockEnvelope
+	Err     error
+}
+
+// SolveBatch runs the problems concurrently on a bounded worker pool (see
+// WithWorkers) over the shared model stack — the sweep primitive behind the
+// figure runners and catsim. Every problem is attempted and failures are
+// reported per-problem in Result.Err, so one bad case does not abort a
+// sweep; the returned error is non-nil only when the context is canceled,
+// in which case unfinished problems carry ctx.Err().
+func (s *Session) SolveBatch(ctx context.Context, problems []Problem) ([]Result, error) {
+	out := make([]Result, len(problems))
+	s.runPool(ctx, len(problems), func(i int) {
+		env, err := s.Solve(ctx, problems[i])
+		out[i] = Result{Index: i, Problem: problems[i], Env: env, Err: err}
+	})
+	return out, ctx.Err()
+}
+
+// ShockShapeBatch runs Euler bow-shock solves concurrently on the bounded
+// worker pool, with the same partial-failure semantics as SolveBatch.
+func (s *Session) ShockShapeBatch(ctx context.Context, problems []Problem) ([]ShockResult, error) {
+	out := make([]ShockResult, len(problems))
+	s.runPool(ctx, len(problems), func(i int) {
+		env, err := s.ShockShape(ctx, problems[i])
+		out[i] = ShockResult{Index: i, Problem: problems[i], Env: env, Err: err}
+	})
+	return out, ctx.Err()
+}
+
+// runPool fans n indexed jobs out over the bounded worker pool. Jobs are
+// responsible for observing ctx themselves (the solvers poll it), so a
+// canceled batch drains quickly instead of deadlocking.
+func (s *Session) runPool(ctx context.Context, n int, job func(i int)) {
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+var (
+	defaultSessionOnce sync.Once
+	defaultSessionVal  *Session
+)
+
+// defaultSession backs the deprecated one-shot entry points and the figure
+// runners, so even legacy callers share one model-stack cache.
+func defaultSession() *Session {
+	defaultSessionOnce.Do(func() { defaultSessionVal = NewSession() })
+	return defaultSessionVal
+}

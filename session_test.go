@@ -1,0 +1,215 @@
+package cataero
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// A Shuttle-like entry point used across the session tests.
+func sessionProblem(class SolverClass) Problem {
+	return Problem{
+		Class:     class,
+		Chemistry: EquilibriumAir,
+		PInf:      4.8, TInf: 217, VInf: 6740,
+		NoseRadius: 0.6, TWall: 1200,
+		NStations: 14,
+	}
+}
+
+// A small NS case (coarse grid, few steps) for cache and bench tests.
+func smallNSProblem() Problem {
+	return Problem{
+		Class:     NS,
+		Chemistry: EquilibriumAir,
+		PInf:      5474.9, TInf: 216.65,
+		VInf:       20 * math.Sqrt(1.4*287.05*216.65),
+		NoseRadius: 0.3, TWall: 1500,
+		NI: 8, NJ: 14, MaxSteps: 120,
+	}
+}
+
+func TestSessionOptionDefaults(t *testing.T) {
+	s := NewSession()
+	if s.workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers %d, want GOMAXPROCS %d", s.workers, runtime.GOMAXPROCS(0))
+	}
+	if s.quality != 1 {
+		t.Errorf("default quality %d", s.quality)
+	}
+	if s.chem != ChemistryUnset {
+		t.Errorf("default chemistry %v", s.chem)
+	}
+	if s.gamma != 0 {
+		t.Errorf("default gamma %g", s.gamma)
+	}
+}
+
+func TestSessionOptionApplication(t *testing.T) {
+	s := NewSession(
+		WithChemistry(EquilibriumTitan),
+		WithQuality(2),
+		WithWorkers(3),
+		WithGamma(1.2),
+	)
+	if s.workers != 3 || s.quality != 2 || s.chem != EquilibriumTitan || s.gamma != 1.2 {
+		t.Fatalf("options not applied: %+v", s)
+	}
+	// Invalid values are ignored, not stored.
+	s2 := NewSession(WithWorkers(-1), WithGamma(0.5))
+	if s2.workers != runtime.GOMAXPROCS(0) || s2.gamma != 0 {
+		t.Errorf("invalid option values should be ignored: workers=%d gamma=%g", s2.workers, s2.gamma)
+	}
+
+	// The session chemistry stamps problems that leave Chemistry unset but
+	// does not override an explicit choice; quality fills unset grids only.
+	p := s.apply(Problem{Class: VSL})
+	if p.Chemistry != EquilibriumTitan {
+		t.Errorf("unset chemistry not defaulted: %v", p.Chemistry)
+	}
+	if p.NStations != 30 || p.NI != 24 || p.NJ != 40 || p.MaxSteps != 6000 {
+		t.Errorf("quality 2 grid defaults not applied: %+v", p)
+	}
+	p = s.apply(Problem{Chemistry: EquilibriumAir, NStations: 5, NI: 6, NJ: 7, MaxSteps: 8, Gamma: 1.4})
+	if p.Chemistry != EquilibriumAir || p.NStations != 5 || p.NI != 6 || p.NJ != 7 || p.MaxSteps != 8 || p.Gamma != 1.4 {
+		t.Errorf("explicit problem fields overridden: %+v", p)
+	}
+}
+
+func TestSessionSolveDefaultChemistry(t *testing.T) {
+	// VSL demands equilibrium chemistry: without a session default the
+	// unset chemistry resolves to ideal gas and fails...
+	p := sessionProblem(VSL)
+	p.Chemistry = ChemistryUnset
+	if _, err := NewSession().Solve(context.Background(), p); err == nil {
+		t.Fatal("VSL with ideal-gas default should fail")
+	}
+	// ...and with WithChemistry it succeeds.
+	s := NewSession(WithChemistry(EquilibriumAir))
+	env, err := s.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.QConvStag <= 0 {
+		t.Error("no stagnation heating")
+	}
+}
+
+func TestSessionTableBuiltOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NS solves in short mode")
+	}
+	s := NewSession()
+	for i := 0; i < 2; i++ {
+		if _, err := s.Solve(context.Background(), smallNSProblem()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.stack.TableBuilds(); n != 1 {
+		t.Fatalf("repeated NS solves built the EOS table %d times, want 1", n)
+	}
+	// A fresh session has its own (empty) cache.
+	s2 := NewSession()
+	if n := s2.stack.TableBuilds(); n != 0 {
+		t.Fatalf("fresh session stack has %d table builds", n)
+	}
+}
+
+func TestSolveBatchPartialFailure(t *testing.T) {
+	s := NewSession(WithWorkers(2))
+	probs := []Problem{
+		sessionProblem(VSL),
+		{Class: VSL}, // no freestream: must fail without aborting the batch
+		sessionProblem(PNS),
+	}
+	results, err := s.SolveBatch(context.Background(), probs)
+	if err != nil {
+		t.Fatalf("batch error %v, want per-problem failures only", err)
+	}
+	if len(results) != len(probs) {
+		t.Fatalf("results %d", len(results))
+	}
+	if results[0].Err != nil || results[0].Env == nil || results[0].Env.QConvStag <= 0 {
+		t.Errorf("problem 0 should succeed: %+v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("problem 1 should fail")
+	}
+	if results[2].Err != nil || results[2].Env == nil {
+		t.Errorf("problem 2 should succeed: %+v", results[2].Err)
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+	}
+}
+
+func TestSolveBatchContextCancellation(t *testing.T) {
+	s := NewSession(WithWorkers(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	probs := []Problem{sessionProblem(VSL), sessionProblem(EBL)}
+	results, err := s.SolveBatch(ctx, probs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want context.Canceled", err)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("result %d err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+func TestSessionSolveTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed solve in short mode")
+	}
+	// A deadline that expires mid-iteration must abort the solver loop with
+	// the context's error, not run to completion.
+	s := NewSession()
+	p := smallNSProblem()
+	p.MaxSteps = 100000
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.Solve(ctx, p)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+func TestSessionShockShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Euler solves in short mode")
+	}
+	s := NewSession()
+	base := Problem{
+		PInf: 10.9, TInf: 233, VInf: 6700,
+		NoseRadius: 1.0, NI: 14, NJ: 24, MaxSteps: 2200,
+	}
+	pI, pE := base, base
+	pI.Chemistry = IdealGas
+	pE.Chemistry = EquilibriumAir
+	results, err := s.ShockShapeBatch(context.Background(), []Problem{pI, pE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("run %d: %v", i, r.Err)
+		}
+		if len(r.Env.X) == 0 || len(r.Env.BodyX) == 0 {
+			t.Fatalf("run %d: empty envelope", i)
+		}
+	}
+	if dE, dI := results[1].Env.Standoff, results[0].Env.Standoff; dE >= dI {
+		t.Errorf("reacting standoff %g should be below ideal %g", dE, dI)
+	}
+}
