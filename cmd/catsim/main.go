@@ -5,6 +5,8 @@
 //	catsim -fig all        # run every figure and print a summary
 //	catsim -fig 4 -q 2     # finer grids
 //	catsim -fig 2 -workers 4   # bound the session's solve pool
+//	catsim -fig 9 -flux hllc -gridseq   # HLLC fluxes, grid-sequenced solves
+//	catsim -fig 9 -cpuprofile cpu.out   # profile the run with pprof
 //
 // All solver-backed figures run through one cataero.Session, so model
 // stacks and EOS tables build once and are shared across the run.
@@ -15,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -25,11 +28,46 @@ func main() {
 	fig := flag.String("fig", "all", "figures to regenerate: comma-separated 1-9, or 'all'")
 	quality := flag.Int("q", 1, "grid quality (1 = default, 2 = finer)")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	fluxName := flag.String("flux", "", "finite-volume flux kernel: hlle, hllc or ausm+ (empty = solver default)")
+	gridSeq := flag.Bool("gridseq", false, "grid-sequence the NS and shock-shape solves (coarse first, then fine)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
-	opts := []cataero.Option{cataero.WithQuality(cataero.Quality(*quality))}
-	if *workers > 0 {
-		opts = append(opts, cataero.WithWorkers(*workers))
+	// Profile around the figure runs; run() returns instead of exiting so
+	// the profile is flushed even when a figure fails.
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	code := run(*fig, *quality, *workers, *fluxName, *gridSeq)
+	stopProfile()
+	os.Exit(code)
+}
+
+// run executes the requested figures and returns the process exit code.
+func run(fig string, quality, workers int, fluxName string, gridSeq bool) int {
+	opts := []cataero.Option{cataero.WithQuality(cataero.Quality(quality))}
+	if workers > 0 {
+		opts = append(opts, cataero.WithWorkers(workers))
+	}
+	if fluxName != "" {
+		opts = append(opts, cataero.WithFlux(fluxName))
+	}
+	if gridSeq {
+		opts = append(opts, cataero.WithGridSequencing(true))
 	}
 	s := cataero.NewSession(opts...)
 	ctx := context.Background()
@@ -38,32 +76,32 @@ func main() {
 		"1": func() error { return fig1() },
 		"2": func() error { return fig2(ctx, s) },
 		"3": func() error { return fig3() },
-		"4": func() error { return fig4(ctx, s, cataero.Quality(*quality)) },
+		"4": func() error { return fig4(ctx, s, cataero.Quality(quality)) },
 		"5": func() error { return fig5() },
 		"6": func() error { return fig6(ctx, s) },
 		"7": func() error { return fig7() },
 		"8": func() error { return fig8() },
-		"9": func() error { return fig9(ctx, s, cataero.Quality(*quality)) },
+		"9": func() error { return fig9(ctx, s, cataero.Quality(quality)) },
 	}
 
 	var keys []string
-	if *fig == "all" {
+	if fig == "all" {
 		keys = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9"}
 	} else {
-		for _, k := range strings.Split(*fig, ",") {
+		for _, k := range strings.Split(fig, ",") {
 			k = strings.TrimSpace(k)
 			if k == "" {
 				continue
 			}
 			if _, ok := runners[k]; !ok {
 				fmt.Fprintf(os.Stderr, "unknown figure %q (want 1-9, a comma-separated list, or 'all')\n", k)
-				os.Exit(2)
+				return 2
 			}
 			keys = append(keys, k)
 		}
 		if len(keys) == 0 {
 			fmt.Fprintf(os.Stderr, "no figures requested (want 1-9, a comma-separated list, or 'all')\n")
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -73,12 +111,13 @@ func main() {
 		}
 		if err := runners[k](); err != nil {
 			fmt.Fprintf(os.Stderr, "figure %s: %v\n", k, err)
-			os.Exit(1)
+			return 1
 		}
 		if len(keys) > 1 {
 			fmt.Println()
 		}
 	}
+	return 0
 }
 
 func fig1() error {

@@ -109,6 +109,16 @@ type Problem struct {
 	NI, NJ    int // grid cells (NS)
 	MaxSteps  int
 
+	// Flux selects the finite-volume upwind flux kernel by name for the
+	// NS and Euler shock-shape classes ("hlle", "hllc", "ausm+"; empty =
+	// solver default).
+	Flux string
+
+	// GridSequencing runs NS and Euler shock-shape solves grid-sequenced:
+	// converge on a coarsened grid, then finish on the fine grid from the
+	// interpolated coarse state.
+	GridSequencing bool
+
 	// Standoff optionally places the outer grid boundary as a function of
 	// arc length (Euler shock-shape solves); nil uses the solver default.
 	Standoff func(s float64) float64

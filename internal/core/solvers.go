@@ -7,12 +7,23 @@ import (
 
 	"cataero/internal/blayer"
 	"cataero/internal/euler"
+	"cataero/internal/fvm"
 	"cataero/internal/gas"
 	"cataero/internal/ns"
 	"cataero/internal/pns"
 	"cataero/internal/radiation"
 	"cataero/internal/vsl"
 )
+
+// sequenceFor maps the problem-level grid-sequencing switch onto the FVM
+// sequencing options (solver defaults; the outer boundary is left where the
+// case put it so sequenced and plain solves share a grid).
+func sequenceFor(p Problem) *fvm.SequenceOptions {
+	if !p.GridSequencing {
+		return nil
+	}
+	return &fvm.SequenceOptions{}
+}
 
 // The paper's four equation sets register themselves here; the dispatcher
 // in SolveWith only ever consults the registry.
@@ -212,6 +223,7 @@ func (nsSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment, 
 		VInf: p.VInf, PInf: p.PInf, TInf: p.TInf,
 		TWall: p.TWall, MaxSteps: p.MaxSteps,
 		Mu: p.Mu, K: p.K,
+		Flux: p.Flux, Sequence: sequenceFor(p),
 	})
 	if err != nil {
 		return nil, err
@@ -254,6 +266,7 @@ func ShockShapeWith(ctx context.Context, st *Stack, p Problem) (*ShockEnvelope, 
 		VInf: p.VInf, PInf: p.PInf, TInf: p.TInf,
 		MaxSteps: p.MaxSteps,
 		Standoff: p.Standoff,
+		Flux:     p.Flux, Sequence: sequenceFor(p),
 	})
 	if err != nil {
 		return nil, err

@@ -31,6 +31,12 @@ type Case struct {
 	Axisym   bool
 	MaxSteps int
 	CFL      float64
+	// Flux selects the upwind flux kernel by name (default fvm.DefaultFlux).
+	Flux string
+	// Sequence, when non-nil, runs the solve grid-sequenced: converge on a
+	// coarsened grid first, then finish on the fine grid from the
+	// interpolated coarse state (see fvm.SolveSequenced).
+	Sequence *fvm.SequenceOptions
 }
 
 // Result is the converged Euler solution.
@@ -75,20 +81,30 @@ func Solve(ctx context.Context, c Case) (*Result, error) {
 		return nil, err
 	}
 	g.Axisymmetric = c.Axisym
-	s, err := fvm.New(g, fvm.Options{
+	o := fvm.Options{
 		Gas:          c.Gas,
 		FreestreamV:  [2]float64{c.VInf, 0},
 		FreestreamPT: [2]float64{c.PInf, c.TInf},
 		CFL:          c.CFL,
 		MUSCL:        true,
-	})
+		Flux:         c.Flux,
+	}
+	const dropTol = 5e-4
+	var (
+		s   *fvm.Solver
+		res float64
+	)
+	if c.Sequence != nil {
+		s, res, err = fvm.SolveSequenced(ctx, g, o, c.MaxSteps, dropTol, *c.Sequence)
+	} else {
+		if s, err = fvm.New(g, o); err == nil {
+			res, err = s.RunCtx(ctx, c.MaxSteps, dropTol)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.RunCtx(ctx, c.MaxSteps, 5e-4)
-	if err != nil {
-		return nil, err
-	}
+	g = s.G // sequencing may have re-fitted the outer boundary
 	xs, ys := s.ShockLocus(2.5)
 	out := &Result{Solver: s, ShockX: xs, ShockY: ys, Residual: res}
 	out.BodyX = make([]float64, c.NI+1)

@@ -1,0 +1,122 @@
+package fvm
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"cataero/internal/gas"
+	"cataero/internal/geometry"
+	"cataero/internal/grid"
+	"cataero/internal/transport"
+)
+
+// benchSolver builds an NS-like axisymmetric viscous solver at the Fig. 9
+// grid size so BenchmarkStep tracks the real per-time-step cost of the
+// hemisphere NS hot path (flux assembly, time steps, two RK stages).
+func benchSolver(b *testing.B, viscous bool) *Solver {
+	b.Helper()
+	body := geometry.NewSphere(0.0127)
+	g, err := grid.NewBlunt(body, body.MaxS(), 20, 32, func(s float64) float64 {
+		return 0.35*0.0127 + 0.3*s
+	}, 1.08)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Axisymmetric = true
+	o := Options{
+		Gas:          gas.NewIdealAir(),
+		FreestreamV:  [2]float64{6 * math.Sqrt(1.4*287.05*217), 0},
+		FreestreamPT: [2]float64{550, 217},
+		CFL:          0.4,
+		MUSCL:        true,
+	}
+	if viscous {
+		o.Viscous = true
+		o.Wall = NoSlipIsothermal
+		o.TWall = 1500
+		o.Mu = transport.Sutherland
+		o.K = transport.SutherlandConductivity
+	}
+	s, err := New(g, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkStepEuler measures one explicit time step of the inviscid path.
+func BenchmarkStepEuler(b *testing.B) {
+	s := benchSolver(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := s.Step(); math.IsNaN(r) {
+			b.Fatal("NaN residual")
+		}
+	}
+}
+
+// BenchmarkStepViscous measures one explicit time step of the thin-layer
+// viscous path (the Fig. 9 NS configuration).
+func BenchmarkStepViscous(b *testing.B) {
+	s := benchSolver(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := s.Step(); math.IsNaN(r) {
+			b.Fatal("NaN residual")
+		}
+	}
+}
+
+func benchSolveCase(b *testing.B) (*grid.Grid2D, Options) {
+	b.Helper()
+	body := geometry.NewSphere(1.0)
+	g, err := grid.NewBlunt(body, body.MaxS(), 16, 24, func(s float64) float64 {
+		return 0.35 + 0.35*s
+	}, 1.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Axisymmetric = true
+	aInf := math.Sqrt(1.4 * 287.05 * 250)
+	return g, Options{
+		Gas:          gas.NewIdealAir(),
+		FreestreamV:  [2]float64{6 * aInf, 0},
+		FreestreamPT: [2]float64{100, 250},
+		CFL:          0.6,
+		MUSCL:        true,
+	}
+}
+
+// BenchmarkSolveFineOnly converges the M=6 sphere on the fine grid from
+// freestream — the baseline a grid-sequenced solve has to beat.
+func BenchmarkSolveFineOnly(b *testing.B) {
+	g, o := benchSolveCase(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(g, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(6000, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkSolveSequenced converges the same case coarse-first: the coarse
+// stage establishes the shock cheaply, and the fine stage finishes to the
+// same absolute residual a freestream-started fine solve reaches at the
+// 1e-3 drop.
+func BenchmarkSolveSequenced(b *testing.B) {
+	g, o := benchSolveCase(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _, err := SolveSequenced(context.Background(), g, o, 6000, 1e-3, SequenceOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}

@@ -1,9 +1,11 @@
 // Package fvm is the shared structured finite-volume kernel behind the
-// paper's Euler and Navier-Stokes solver classes: HLLE fluxes for a general
-// equation of state, optional MUSCL/minmod reconstruction, planar or
-// axisymmetric metrics, thin-layer viscous terms, characteristic boundary
-// conditions and local-time-step explicit relaxation to steady state. Flux
-// assembly is parallelized across grid lines with goroutines.
+// paper's Euler and Navier-Stokes solver classes: pluggable upwind flux
+// kernels (HLLE, HLLC, AUSM+) for a general equation of state, optional
+// MUSCL/minmod reconstruction, planar or axisymmetric metrics, thin-layer
+// viscous terms, characteristic boundary conditions and local-time-step
+// explicit relaxation to steady state. Grid metrics are precomputed once
+// per solve (grid.Metrics) and flux assembly is parallelized across grid
+// lines on a persistent per-solver worker pool.
 package fvm
 
 import (
@@ -42,6 +44,7 @@ type Options struct {
 	K            func(T float64) float64 // conductivity law
 	CFL          float64                 // default 0.8
 	MUSCL        bool
+	Flux         string     // flux kernel name (see FluxKernels); default DefaultFlux
 	FreestreamV  [2]float64 // freestream velocity (x, y components)
 	FreestreamPT [2]float64 // freestream pressure, temperature
 }
@@ -57,9 +60,14 @@ type Solver struct {
 	u0   []Cons // RK stage storage
 	dt   []float64
 
-	uInf   Cons
-	pInf   Prim
-	ni, nj int
+	met  *grid.Metrics // precomputed face vectors, volumes, centroids
+	flux FluxKernel
+	pool *workerPool
+
+	uInf      Cons
+	pInf      Prim
+	ni, nj    int
+	closeOnce sync.Once
 }
 
 // New builds a solver on grid g with options o and initializes every cell to
@@ -74,7 +82,14 @@ func New(g *grid.Grid2D, o Options) (*Solver, error) {
 	if o.Viscous && (o.Mu == nil || o.K == nil) {
 		return nil, fmt.Errorf("fvm: viscous runs need Mu and K laws")
 	}
-	s := &Solver{G: g, Opts: o, ni: g.NI, nj: g.NJ}
+	if o.MUSCL && (g.NI < 4 || g.NJ < 4) {
+		return nil, fmt.Errorf("fvm: MUSCL needs at least a 4x4 grid, got %dx%d", g.NI, g.NJ)
+	}
+	flux, err := FluxKernelFor(o.Flux)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{G: g, Opts: o, ni: g.NI, nj: g.NJ, met: g.Metrics(), flux: flux}
 	n := s.ni * s.nj
 	s.U = make([]Cons, n)
 	s.prim = make([]Prim, n)
@@ -96,7 +111,21 @@ func New(g *grid.Grid2D, o Options) (*Solver, error) {
 	for i := range s.U {
 		s.U[i] = s.uInf
 	}
+	s.pool = newWorkerPool(0)
+	// Pools hold W-1 parked goroutines; reclaim them if the solver is
+	// dropped without an explicit Close (results keep solvers alive for
+	// post-processing, so relying on callers alone would leak).
+	runtime.SetFinalizer(s, (*Solver).Close)
 	return s, nil
+}
+
+// Close releases the solver's worker pool. The solver must not be stepped
+// after Close; calling Close more than once is safe.
+func (s *Solver) Close() {
+	s.closeOnce.Do(func() {
+		runtime.SetFinalizer(s, nil)
+		s.pool.close()
+	})
 }
 
 func (s *Solver) idx(i, j int) int { return i*s.nj + j }
@@ -127,46 +156,12 @@ func (s *Solver) decode(u Cons) Prim {
 
 // updatePrimitives refreshes the primitive cache in parallel.
 func (s *Solver) updatePrimitives() {
-	parallelFor(s.ni, func(i int) {
+	s.pool.run(s.ni, func(i int) {
 		for j := 0; j < s.nj; j++ {
 			k := s.idx(i, j)
 			s.prim[k] = s.decode(s.U[k])
 		}
 	})
-}
-
-// hlle computes the HLLE flux through a face with area vector (sx, sy) from
-// left state L to right state R.
-func hlle(L, R Prim, sx, sy float64) Cons {
-	area := math.Hypot(sx, sy)
-	if area == 0 {
-		return Cons{}
-	}
-	nx, ny := sx/area, sy/area
-	unL := L.U*nx + L.V*ny
-	unR := R.U*nx + R.V*ny
-	sl := math.Min(unL-L.A, unR-R.A)
-	sr := math.Max(unL+L.A, unR+R.A)
-	fL := physFlux(L, nx, ny)
-	fR := physFlux(R, nx, ny)
-	var f Cons
-	switch {
-	case sl >= 0:
-		f = fL
-	case sr <= 0:
-		f = fR
-	default:
-		uL := consOf(L)
-		uR := consOf(R)
-		inv := 1 / (sr - sl)
-		for k := 0; k < 4; k++ {
-			f[k] = (sr*fL[k] - sl*fR[k] + sl*sr*(uR[k]-uL[k])) * inv
-		}
-	}
-	for k := 0; k < 4; k++ {
-		f[k] *= area
-	}
-	return f
 }
 
 func physFlux(q Prim, nx, ny float64) Cons {
@@ -229,38 +224,4 @@ func reconstruct(qmm, qm, qp, qpp Prim, hasMM, hasPP bool) (Prim, Prim) {
 	L.E = qm.E * (L.P / qm.P) * (qm.Rho / L.Rho)
 	R.E = qp.E * (R.P / qp.P) * (qp.Rho / R.Rho)
 	return L, R
-}
-
-// parallelFor runs f(i) for i in [0,n) across NumCPU workers.
-func parallelFor(n int, f func(i int)) {
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				f(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }

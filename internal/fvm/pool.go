@@ -1,0 +1,119 @@
+package fvm
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerPool is a persistent pool of goroutines for the per-step parallel
+// sweeps. The seed spawned a fresh goroutine set for every sweep (~6 sweeps
+// per time step, ~2000 steps per solve); the pool spawns its workers once
+// per solver and feeds them index ranges over a channel instead.
+type workerPool struct {
+	workers int
+	tasks   chan poolTask
+}
+
+// poolTask is one contiguous index range of a parallel sweep.
+type poolTask struct {
+	lo, hi int
+	run    func(lo, hi int)
+	wg     *sync.WaitGroup
+}
+
+func newWorkerPool(workers int) *workerPool {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	p := &workerPool{workers: workers}
+	if workers > 1 {
+		p.tasks = make(chan poolTask)
+		for w := 0; w < workers-1; w++ {
+			go func() {
+				for t := range p.tasks {
+					t.run(t.lo, t.hi)
+					t.wg.Done()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// close releases the pool's goroutines. The pool must not be used after.
+func (p *workerPool) close() {
+	if p.tasks != nil {
+		close(p.tasks)
+	}
+}
+
+// run executes f(i) for every i in [0, n), split into one chunk per worker.
+// The calling goroutine participates by running the first chunk itself, so
+// a pool of W workers keeps W CPUs busy with W-1 resident goroutines.
+func (p *workerPool) run(n int, f func(i int)) {
+	p.runRanges(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
+// runSum executes f(i) for every i in [0, n) and returns the sum of the
+// results, accumulating per-chunk partials so the reduction parallelizes
+// without atomics in the inner loop.
+func (p *workerPool) runSum(n int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	chunk := p.chunkSize(n)
+	partial := make([]float64, (n+chunk-1)/chunk)
+	p.runRanges(n, func(lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[lo/chunk] = s
+	})
+	total := 0.0
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// chunkSize returns the per-chunk index count used to split a sweep of n.
+func (p *workerPool) chunkSize(n int) int {
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return (n + w - 1) / w
+}
+
+// runRanges splits [0, n) into one range per worker and executes run on
+// each, inline when the pool is serial and on the resident workers
+// otherwise.
+func (p *workerPool) runRanges(n int, run func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.tasks == nil || n == 1 {
+		run(0, n)
+		return
+	}
+	chunk := p.chunkSize(n)
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		p.tasks <- poolTask{lo: lo, hi: hi, run: run, wg: &wg}
+	}
+	run(0, chunk)
+	wg.Wait()
+}

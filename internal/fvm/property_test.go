@@ -87,7 +87,7 @@ func TestReconstructBounded(t *testing.T) {
 // Pressure-only wall: verify via the mirrored HLLE construction directly.
 func TestMirroredWallNoMassFlux(t *testing.T) {
 	q := Prim{Rho: 1, U: 200, V: 100, P: 1e5, T: 300, A: 340, E: 2.5e5}
-	g := mirror(q, 0, 2) // face normal +y
+	g := mirror(q, 0, 1) // unit face normal +y
 	f := hlle(g, q, 0, 2)
 	if math.Abs(f[0]) > 1e-8*q.Rho*q.A {
 		t.Errorf("wall mass flux %g", f[0])

@@ -1,0 +1,166 @@
+package fvm
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"cataero/internal/grid"
+)
+
+// SequenceOptions configures a grid-sequenced solve (SolveSequenced).
+type SequenceOptions struct {
+	// Coarsen divides the cell counts for the first stage (default 2).
+	Coarsen int
+	// CoarseDropTol is the relative residual drop for the coarse stage
+	// (default 1e-2: the coarse stage only has to establish the shock).
+	CoarseDropTol float64
+	// CoarseMaxSteps bounds the coarse stage (default maxSteps).
+	CoarseMaxSteps int
+	// Refit re-fits the fine grid's outer boundary to the coarse shock
+	// locus before the fine stage, shrink-wrapping the shock layer.
+	Refit bool
+	// RefitMargin is the outer-boundary margin over the coarse standoff
+	// (default 1.4); only used with Refit.
+	RefitMargin float64
+}
+
+// SolveSequenced runs a grid-sequenced solve to steady state: converge on a
+// coarsened grid, interpolate the coarse state onto the fine grid as the
+// initial condition (optionally re-fitting the fine outer boundary to the
+// coarse shock locus), then finish on the fine grid. The fine stage stops
+// at the same absolute residual a freestream-started fine solve would reach
+// after dropping by dropTol. Returns the fine solver (which the caller owns)
+// and its final residual. Falls back to a plain fine-grid solve when the
+// grid cannot be coarsened.
+func SolveSequenced(ctx context.Context, g *grid.Grid2D, o Options, maxSteps int, dropTol float64, sq SequenceOptions) (*Solver, float64, error) {
+	if sq.Coarsen < 2 {
+		sq.Coarsen = 2
+	}
+	if sq.CoarseDropTol == 0 {
+		sq.CoarseDropTol = 1e-2
+	}
+	if sq.CoarseMaxSteps == 0 {
+		sq.CoarseMaxSteps = maxSteps
+	}
+	if sq.RefitMargin <= 1 {
+		sq.RefitMargin = 1.4
+	}
+	cg, err := g.Coarsen(sq.Coarsen)
+	if err != nil {
+		// Grid too small (or hand-built): sequencing buys nothing, solve fine.
+		s, err := New(g, o)
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := s.RunCtx(ctx, maxSteps, dropTol)
+		return s, res, err
+	}
+	coarse, err := New(cg, o)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer coarse.Close()
+	if _, err := coarse.RunCtx(ctx, sq.CoarseMaxSteps, sq.CoarseDropTol); err != nil {
+		return nil, 0, err
+	}
+	fineGrid := g
+	if sq.Refit {
+		rg, err := refitToShock(coarse, g, sq.RefitMargin)
+		if err != nil {
+			return nil, 0, fmt.Errorf("fvm: sequenced solve: refit to coarse shock locus: %w", err)
+		}
+		fineGrid = rg
+	}
+	fine, err := New(fineGrid, o)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Calibrate the absolute target: one freestream-started step gives the
+	// same initial residual scale RunCtx would have latched onto, then the
+	// injected coarse state replaces the stepped one.
+	r0 := fine.Step()
+	if math.IsNaN(r0) || r0 <= 0 {
+		fine.Close()
+		return nil, 0, errNaNCalibration
+	}
+	fine.injectFrom(coarse)
+	res, err := fine.RunToCtx(ctx, maxSteps, r0*dropTol)
+	if err != nil {
+		fine.Close()
+		return nil, 0, err
+	}
+	return fine, res, nil
+}
+
+var errNaNCalibration = &calibrationError{}
+
+type calibrationError struct{}
+
+func (*calibrationError) Error() string {
+	return "fvm: sequenced solve: fine-grid calibration step produced no usable residual"
+}
+
+// injectFrom initializes the solver's conserved field from a coarse
+// solution by index-proportional nearest-cell injection — first-order, but
+// the fine relaxation immediately smooths it, so anything fancier is wasted
+// work for an initial condition.
+func (s *Solver) injectFrom(c *Solver) {
+	for i := 0; i < s.ni; i++ {
+		ic := i * c.ni / s.ni
+		if ic > c.ni-1 {
+			ic = c.ni - 1
+		}
+		for j := 0; j < s.nj; j++ {
+			jc := j * c.nj / s.nj
+			if jc > c.nj-1 {
+				jc = c.nj - 1
+			}
+			s.U[s.idx(i, j)] = c.U[c.idx(ic, jc)]
+		}
+	}
+}
+
+// refitToShock rebuilds the fine grid with its outer boundary placed at
+// margin times the coarse solver's shock standoff, interpolated in wall arc
+// length across the coarse i-lines.
+func refitToShock(coarse *Solver, fine *grid.Grid2D, margin float64) (*grid.Grid2D, error) {
+	xs, ys := coarse.ShockLocus(2.5)
+	cg := coarse.G
+	n := len(xs)
+	sMid := make([]float64, n)
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sMid[i] = 0.5 * (cg.S[i] + cg.S[i+1])
+		xw := 0.5 * (cg.X[i][0] + cg.X[i+1][0])
+		yw := 0.5 * (cg.Y[i][0] + cg.Y[i+1][0])
+		d[i] = margin * math.Hypot(xs[i]-xw, ys[i]-yw)
+	}
+	// A locus hugging the wall (no shock found, or a collapsed line) would
+	// produce a degenerate grid; floor at a quarter of the original standoff.
+	for i := range d {
+		if floor := 0.25 * cg.WallDistance(i); d[i] < floor {
+			d[i] = floor
+		}
+	}
+	standoff := func(s float64) float64 {
+		if s <= sMid[0] {
+			return d[0]
+		}
+		if s >= sMid[n-1] {
+			return d[n-1]
+		}
+		lo, hi := 0, n-1
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if sMid[mid] <= s {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		t := (s - sMid[lo]) / (sMid[lo+1] - sMid[lo])
+		return d[lo] + t*(d[lo+1]-d[lo])
+	}
+	return fine.Refit(standoff)
+}

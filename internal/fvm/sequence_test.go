@@ -1,0 +1,130 @@
+package fvm
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"cataero/internal/gas"
+	"cataero/internal/geometry"
+	"cataero/internal/grid"
+)
+
+func seqCase(t *testing.T) (*grid.Grid2D, Options) {
+	t.Helper()
+	body := geometry.NewSphere(1.0)
+	g, err := grid.NewBlunt(body, body.MaxS(), 16, 24, func(s float64) float64 {
+		return 0.35 + 0.35*s
+	}, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Axisymmetric = true
+	aInf := math.Sqrt(1.4 * 287.05 * 250)
+	return g, Options{
+		Gas:          gas.NewIdealAir(),
+		FreestreamV:  [2]float64{6 * aInf, 0},
+		FreestreamPT: [2]float64{100, 250},
+		CFL:          0.6,
+		MUSCL:        true,
+	}
+}
+
+// A grid-sequenced solve must land on the same physics as a fine-grid-only
+// solve: same pitot pressure, same standoff band.
+func TestSolveSequencedMatchesFine(t *testing.T) {
+	g, o := seqCase(t)
+	fine, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fine.Close()
+	if _, err := fine.Run(4000, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	seq, res, err := SolveSequenced(context.Background(), g, o, 4000, 1e-3, SequenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	if math.IsNaN(res) || res <= 0 {
+		t.Fatalf("sequenced residual %g", res)
+	}
+	qf := fine.Primitive(0, 0)
+	qs := seq.Primitive(0, 0)
+	if math.Abs(qs.P-qf.P)/qf.P > 0.05 {
+		t.Errorf("sequenced stagnation pressure %g vs fine %g", qs.P, qf.P)
+	}
+	xf, _ := fine.ShockLocus(2)
+	xs, _ := seq.ShockLocus(2)
+	if math.Abs(xs[0]-xf[0]) > 0.06 {
+		t.Errorf("sequenced standoff %g vs fine %g", -xs[0], -xf[0])
+	}
+}
+
+// With Refit, the fine grid's outer boundary shrink-wraps the coarse shock
+// locus and the solve still captures the right shock.
+func TestSolveSequencedRefit(t *testing.T) {
+	g, o := seqCase(t)
+	seq, _, err := SolveSequenced(context.Background(), g, o, 4000, 1e-3,
+		SequenceOptions{Refit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	if seq.G == g {
+		t.Fatal("Refit did not rebuild the fine grid")
+	}
+	// The re-fitted outer boundary lies inside the original one but outside
+	// the shock (otherwise the pitot pressure collapses).
+	if d, d0 := seq.G.WallDistance(0), g.WallDistance(0); d >= d0 {
+		t.Errorf("refit standoff %g not inside original %g", d, d0)
+	}
+	q := seq.Primitive(0, 0)
+	if math.Abs(q.P/100-46.81) > 6 {
+		t.Errorf("refit stagnation pressure ratio %g want ~46.8", q.P/100)
+	}
+}
+
+// Sequencing falls back to a plain fine solve when the grid is too small
+// to coarsen.
+func TestSolveSequencedFallback(t *testing.T) {
+	body := geometry.NewSphere(1.0)
+	g, err := grid.NewBlunt(body, body.MaxS(), 4, 4, func(s float64) float64 { return 0.4 }, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, o := seqCase(t)
+	s, res, err := SolveSequenced(context.Background(), g, o, 200, 1e-3, SequenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.G != g {
+		t.Error("fallback should solve on the original grid")
+	}
+	if math.IsNaN(res) {
+		t.Error("NaN residual")
+	}
+}
+
+func TestWorkerPoolRunSum(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7} {
+		p := newWorkerPool(workers)
+		for _, n := range []int{0, 1, 2, 5, 17, 100} {
+			got := p.runSum(n, func(i int) float64 { return float64(i) })
+			want := float64(n*(n-1)) / 2
+			if got != want {
+				t.Errorf("workers=%d n=%d: sum %g want %g", workers, n, got, want)
+			}
+			hits := make([]int, n)
+			p.run(n, func(i int) { hits[i]++ })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+		p.close()
+	}
+}

@@ -8,21 +8,27 @@ import (
 
 // computeResidual assembles the flux balance of every cell into s.res
 // (d(U V)/dt = -res). Boundary conditions are applied at the flux level.
+// All geometry comes from the precomputed metric arrays.
 func (s *Solver) computeResidual() {
 	ni, nj := s.ni, s.nj
+	met := s.met
 	for k := range s.res {
 		s.res[k] = Cons{}
 	}
 	// I-direction faces: i = 0..ni, between cells (i-1,j) and (i,j).
-	parallelFor(nj, func(j int) {
+	s.pool.run(nj, func(j int) {
 		for i := 0; i <= ni; i++ {
-			sx, sy := s.G.FaceI(i, j)
+			fk := 3 * (i*nj + j)
+			nx, ny, area := met.FaceIN[fk], met.FaceIN[fk+1], met.FaceIN[fk+2]
+			if area == 0 {
+				continue
+			}
 			var L, R Prim
 			switch {
 			case i == 0:
 				// Symmetry plane (stagnation line): mirror the first cell.
 				in := s.prim[s.idx(0, j)]
-				L = mirror(in, sx, sy)
+				L = mirror(in, nx, ny)
 				R = in
 			case i == ni:
 				// Outflow: zero-gradient ghost.
@@ -46,7 +52,7 @@ func (s *Solver) computeResidual() {
 					L, R = m, p
 				}
 			}
-			f := hlle(L, R, sx, sy)
+			f := s.flux.Flux(L, R, nx, ny, area)
 			if i > 0 {
 				k := s.idx(i-1, j)
 				for c := 0; c < 4; c++ {
@@ -62,17 +68,21 @@ func (s *Solver) computeResidual() {
 		}
 	})
 	// J-direction faces: j = 0..nj, between cells (i,j-1) and (i,j).
-	parallelFor(ni, func(i int) {
+	s.pool.run(ni, func(i int) {
 		for j := 0; j <= nj; j++ {
-			sx, sy := s.G.FaceJ(i, j)
+			fk := 3 * (i*(nj+1) + j)
+			nx, ny, area := met.FaceJN[fk], met.FaceJN[fk+1], met.FaceJN[fk+2]
+			if area == 0 {
+				continue
+			}
 			var f Cons
 			switch {
 			case j == 0:
-				f = s.wallFlux(i, sx, sy)
+				f = s.wallFlux(i, nx, ny, area)
 			case j == nj:
 				// Outer boundary: freestream ghost (supersonic inflow).
 				in := s.prim[s.idx(i, nj-1)]
-				f = hlle(in, s.pInf, sx, sy)
+				f = s.flux.Flux(in, s.pInf, nx, ny, area)
 			default:
 				m := s.prim[s.idx(i, j-1)]
 				p := s.prim[s.idx(i, j)]
@@ -90,9 +100,9 @@ func (s *Solver) computeResidual() {
 				} else {
 					L, R = m, p
 				}
-				f = hlle(L, R, sx, sy)
+				f = s.flux.Flux(L, R, nx, ny, area)
 				if s.Opts.Viscous {
-					fv := s.viscousFluxJ(i, j, sx, sy)
+					fv := s.viscousFluxJ(i, j, area)
 					for c := 0; c < 4; c++ {
 						f[c] += fv[c]
 					}
@@ -114,22 +124,17 @@ func (s *Solver) computeResidual() {
 	})
 	// Axisymmetric hoop-pressure source in the radial momentum equation.
 	if s.G.Axisymmetric {
-		parallelFor(ni, func(i int) {
+		s.pool.run(ni, func(i int) {
 			for j := 0; j < nj; j++ {
 				k := s.idx(i, j)
-				s.res[k][2] -= s.prim[k].P * s.G.CellArea(i, j)
+				s.res[k][2] -= s.prim[k].P * met.Area[k]
 			}
 		})
 	}
 }
 
-// mirror reflects a primitive state across a face with area vector (sx, sy).
-func mirror(q Prim, sx, sy float64) Prim {
-	area := math.Hypot(sx, sy)
-	if area == 0 {
-		return q
-	}
-	nx, ny := sx/area, sy/area
+// mirror reflects a primitive state across a face with unit normal (nx, ny).
+func mirror(q Prim, nx, ny float64) Prim {
 	un := q.U*nx + q.V*ny
 	out := q
 	out.U = q.U - 2*un*nx
@@ -137,23 +142,20 @@ func mirror(q Prim, sx, sy float64) Prim {
 	return out
 }
 
-// wallFlux returns the j=0 wall flux for column i.
-func (s *Solver) wallFlux(i int, sx, sy float64) Cons {
+// wallFlux returns the j=0 wall flux for column i through a face with unit
+// normal (nx, ny) and the given area.
+func (s *Solver) wallFlux(i int, nx, ny, area float64) Cons {
 	q := s.prim[s.idx(i, 0)]
-	area := math.Hypot(sx, sy)
-	if area == 0 {
-		return Cons{}
-	}
-	// Inviscid part: pressure only (tangency). Use the mirrored-state HLLE
-	// for robustness at strong transients.
-	g := mirror(q, sx, sy)
-	f := hlle(g, q, sx, sy)
+	// Inviscid part: pressure only (tangency). Use the mirrored-state upwind
+	// flux for robustness at strong transients.
+	g := mirror(q, nx, ny)
+	f := s.flux.Flux(g, q, nx, ny, area)
 	if !s.Opts.Viscous || s.Opts.Wall != NoSlipIsothermal {
 		return f
 	}
 	// Viscous no-slip isothermal wall: shear from the half-cell gradient and
 	// conduction against the fixed wall temperature.
-	dn := s.halfHeight(i)
+	dn := s.met.WallHalf[i]
 	mu := s.Opts.Mu(0.5 * (q.T + s.Opts.TWall))
 	kth := s.Opts.K(0.5 * (q.T + s.Opts.TWall))
 	f[1] -= mu * q.U / dn * area
@@ -162,24 +164,14 @@ func (s *Solver) wallFlux(i int, sx, sy float64) Cons {
 	return f
 }
 
-// halfHeight returns the wall-normal half height of cell (i, 0).
-func (s *Solver) halfHeight(i int) float64 {
-	dx := s.G.X[i][1] - s.G.X[i][0]
-	dy := s.G.Y[i][1] - s.G.Y[i][0]
-	return 0.5 * math.Hypot(dx, dy)
-}
-
 // viscousFluxJ returns the thin-layer viscous flux through interior j-face
-// (i, j) with area vector (sx, sy), pointing toward +j. Sign convention:
-// returned flux is added to the +j-directed total flux.
-func (s *Solver) viscousFluxJ(i, j int, sx, sy float64) Cons {
+// (i, j) of the given area, pointing toward +j. Sign convention: returned
+// flux is added to the +j-directed total flux.
+func (s *Solver) viscousFluxJ(i, j int, area float64) Cons {
 	m := s.prim[s.idx(i, j-1)]
 	p := s.prim[s.idx(i, j)]
-	area := math.Hypot(sx, sy)
-	// Distance between cell centers.
-	xm, ym := s.G.CellCenter(i, j-1)
-	xp, yp := s.G.CellCenter(i, j)
-	dn := math.Hypot(xp-xm, yp-ym)
+	// Cached distance between the straddling cell centers.
+	dn := s.met.JDist[i*(s.nj+1)+j]
 	if dn == 0 {
 		return Cons{}
 	}
@@ -199,22 +191,31 @@ func (s *Solver) viscousFluxJ(i, j int, sx, sy float64) Cons {
 	}
 }
 
-// timeSteps fills the local time-step array.
+// timeSteps fills the local time-step array from the cached metrics.
 func (s *Solver) timeSteps() {
-	parallelFor(s.ni, func(i int) {
-		for j := 0; j < s.nj; j++ {
+	met := s.met
+	nj := s.nj
+	s.pool.run(s.ni, func(i int) {
+		for j := 0; j < nj; j++ {
 			k := s.idx(i, j)
 			q := s.prim[k]
-			vol := s.G.CellVolume(i, j)
-			// Spectral radius estimate over the four faces.
+			vol := met.Vol[k]
+			// Spectral radius estimate over the four faces, from the cached
+			// unit normals and areas.
 			lam := 0.0
 			sMax := 0.0
-			for _, face := range [][2]float64{
-				faceVec(s.G.FaceI(i, j)), faceVec(s.G.FaceI(i+1, j)),
-				faceVec(s.G.FaceJ(i, j)), faceVec(s.G.FaceJ(i, j+1)),
+			fw := 3 * (i*nj + j)
+			fe := 3 * ((i+1)*nj + j)
+			fs := 3 * (i*(nj+1) + j)
+			fn := 3 * (i*(nj+1) + j + 1)
+			for _, face := range [4][3]float64{
+				{met.FaceIN[fw], met.FaceIN[fw+1], met.FaceIN[fw+2]},
+				{met.FaceIN[fe], met.FaceIN[fe+1], met.FaceIN[fe+2]},
+				{met.FaceJN[fs], met.FaceJN[fs+1], met.FaceJN[fs+2]},
+				{met.FaceJN[fn], met.FaceJN[fn+1], met.FaceJN[fn+2]},
 			} {
-				mag := math.Hypot(face[0], face[1])
-				un := math.Abs(q.U*face[0]+q.V*face[1]) + q.A*mag
+				mag := face[2]
+				un := (math.Abs(q.U*face[0]+q.V*face[1]) + q.A) * mag
 				if un > lam {
 					lam = un
 				}
@@ -234,10 +235,9 @@ func (s *Solver) timeSteps() {
 	})
 }
 
-func faceVec(sx, sy float64) [2]float64 { return [2]float64{sx, sy} }
-
 // Step advances one explicit two-stage (Heun) local-time step and returns
-// the RMS density residual.
+// the RMS density residual. Both stages, including the stage-2 combine and
+// residual reduction, run on the worker pool.
 func (s *Solver) Step() float64 {
 	s.updatePrimitives()
 	s.timeSteps()
@@ -248,29 +248,30 @@ func (s *Solver) Step() float64 {
 	// Stage 2.
 	s.updatePrimitives()
 	s.computeResidual()
-	rms := 0.0
-	n := 0
-	for i := 0; i < s.ni; i++ {
-		for j := 0; j < s.nj; j++ {
+	met := s.met
+	nj := s.nj
+	sum := s.pool.runSum(s.ni, func(i int) float64 {
+		line := 0.0
+		for j := 0; j < nj; j++ {
 			k := s.idx(i, j)
-			vol := s.G.CellVolume(i, j)
-			dtv := s.dt[k] / vol
+			dtv := s.dt[k] / met.Vol[k]
 			for c := 0; c < 4; c++ {
 				s.U[k][c] = 0.5*s.u0[k][c] + 0.5*(s.U[k][c]-dtv*s.res[k][c])
 			}
-			r := s.res[k][0] / vol
-			rms += r * r
-			n++
+			r := s.res[k][0] / met.Vol[k]
+			line += r * r
 		}
-	}
-	return math.Sqrt(rms / float64(n))
+		return line
+	})
+	return math.Sqrt(sum / float64(s.ni*s.nj))
 }
 
 func (s *Solver) applyUpdate(frac float64) {
-	parallelFor(s.ni, func(i int) {
+	met := s.met
+	s.pool.run(s.ni, func(i int) {
 		for j := 0; j < s.nj; j++ {
 			k := s.idx(i, j)
-			dtv := frac * s.dt[k] / s.G.CellVolume(i, j)
+			dtv := frac * s.dt[k] / met.Vol[k]
 			for c := 0; c < 4; c++ {
 				s.U[k][c] -= dtv * s.res[k][c]
 			}
@@ -314,10 +315,39 @@ func (s *Solver) RunCtx(ctx context.Context, maxSteps int, dropTol float64) (flo
 	return res, nil
 }
 
-// Primitive returns the converged primitive state of cell (i, j).
+// RunToCtx iterates until the RMS density residual falls below the absolute
+// target or maxSteps is reached — the fine-stage entry point of a
+// grid-sequenced solve, where the relative-drop criterion of RunCtx would
+// be meaningless for an already-good initial state.
+func (s *Solver) RunToCtx(ctx context.Context, maxSteps int, target float64) (float64, error) {
+	if maxSteps <= 0 {
+		maxSteps = 2000
+	}
+	res := 0.0
+	for n := 0; n < maxSteps; n++ {
+		if n%16 == 0 {
+			select {
+			case <-ctx.Done():
+				return res, ctx.Err()
+			default:
+			}
+		}
+		res = s.Step()
+		if math.IsNaN(res) {
+			return res, fmt.Errorf("fvm: residual NaN at step %d", n)
+		}
+		if res < target {
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// Primitive returns the primitive state of cell (i, j). It is a pure read:
+// the conserved state is decoded into a local, without touching the shared
+// primitive cache (which step stages own).
 func (s *Solver) Primitive(i, j int) Prim {
-	s.prim[s.idx(i, j)] = s.decode(s.U[s.idx(i, j)])
-	return s.prim[s.idx(i, j)]
+	return s.decode(s.U[s.idx(i, j)])
 }
 
 // Freestream returns the freestream primitive state.
@@ -335,8 +365,8 @@ func (s *Solver) ShockLocus(threshold float64) (xs, ys []float64) {
 		ys[i] = s.G.Y[i][s.nj]
 		for j := s.nj - 1; j >= 0; j-- {
 			if s.prim[s.idx(i, j)].P > threshold*s.pInf.P {
-				xc, yc := s.G.CellCenter(i, j)
-				xs[i], ys[i] = xc, yc
+				k := s.idx(i, j)
+				xs[i], ys[i] = s.met.Cx[k], s.met.Cy[k]
 				break
 			}
 		}
@@ -346,24 +376,22 @@ func (s *Solver) ShockLocus(threshold float64) (xs, ys []float64) {
 
 // WallPressure returns p along the wall (cell row j=0).
 func (s *Solver) WallPressure() []float64 {
-	s.updatePrimitives()
 	out := make([]float64, s.ni)
 	for i := 0; i < s.ni; i++ {
-		out[i] = s.prim[s.idx(i, 0)].P
+		out[i] = s.Primitive(i, 0).P
 	}
 	return out
 }
 
 // WallHeatFlux returns the wall heat flux (W/m^2) for viscous runs.
 func (s *Solver) WallHeatFlux() []float64 {
-	s.updatePrimitives()
 	out := make([]float64, s.ni)
 	if !s.Opts.Viscous {
 		return out
 	}
 	for i := 0; i < s.ni; i++ {
-		q := s.prim[s.idx(i, 0)]
-		dn := s.halfHeight(i)
+		q := s.Primitive(i, 0)
+		dn := s.met.WallHalf[i]
 		kth := s.Opts.K(0.5 * (q.T + s.Opts.TWall))
 		out[i] = kth * (q.T - s.Opts.TWall) / dn
 	}

@@ -7,6 +7,7 @@ package grid
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"cataero/internal/geometry"
 	"cataero/internal/numerics"
@@ -23,13 +24,23 @@ type Grid2D struct {
 	S []float64
 	// Axisymmetric marks the grid for use with axisymmetric metrics.
 	Axisymmetric bool
+
+	// Generation parameters, kept so the grid can be re-fitted to a new
+	// outer boundary or coarsened for grid sequencing (see Refit, Coarsen).
+	body     geometry.Body
+	sMax     float64
+	beta     float64
+	standoff func(s float64) float64
+
+	mu      sync.Mutex
+	metrics *Metrics
 }
 
 // NewBlunt builds a body-fitted grid around body b from arc length 0 to
 // sMax with ni cells along the body and nj cells normal to it. The outer
 // boundary is placed at distance standoff(s) along the local surface normal
 // (use a shock-shape estimate); wall clustering uses Roberts stretching with
-// parameter beta (1.001 = strong clustering, 2 = mild).
+// parameter beta, which must exceed 1 (1.001 = strong clustering, 2 = mild).
 func NewBlunt(b geometry.Body, sMax float64, ni, nj int, standoff func(s float64) float64, beta float64) (*Grid2D, error) {
 	if ni < 2 || nj < 2 {
 		return nil, fmt.Errorf("grid: need at least 2x2 cells, got %dx%d", ni, nj)
@@ -38,9 +49,9 @@ func NewBlunt(b geometry.Body, sMax float64, ni, nj int, standoff func(s float64
 		return nil, fmt.Errorf("grid: sMax=%g outside body range (0,%g]", sMax, b.MaxS())
 	}
 	if beta <= 1 {
-		beta = 1.05
+		return nil, fmt.Errorf("grid: Roberts stretching parameter beta=%g must exceed 1", beta)
 	}
-	g := &Grid2D{NI: ni, NJ: nj}
+	g := &Grid2D{NI: ni, NJ: nj, body: b, sMax: sMax, beta: beta, standoff: standoff}
 	g.X = make([][]float64, ni+1)
 	g.Y = make([][]float64, ni+1)
 	g.S = make([]float64, ni+1)

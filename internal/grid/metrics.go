@@ -1,0 +1,142 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metrics caches every geometric quantity the finite-volume hot loops need,
+// in flat row-major arrays: face area vectors for both directions, cell
+// volumes, planar areas, centroids and the wall-normal half heights of the
+// first cell row. The arrays are built once per grid (and per axisymmetric
+// flag) instead of being recomputed from node coordinates on every time
+// step.
+type Metrics struct {
+	NI, NJ       int
+	Axisymmetric bool
+	// FaceIN holds (nx, ny, area) triplets — unit normal and face area —
+	// for the I-direction faces between cells (i-1,j) and (i,j): index
+	// 3*(i*NJ+j), i = 0..NI, j = 0..NJ-1. FaceJN does the same for the
+	// J-direction faces between cells (i,j-1) and (i,j): index
+	// 3*(i*(NJ+1)+j), i = 0..NI-1, j = 0..NJ. Storing the normal pre-split
+	// keeps renormalization out of the flux hot loop (the raw area vector
+	// is recoverable as nx*area, ny*area); degenerate faces carry a zero
+	// area and a zero normal.
+	FaceIN, FaceJN []float64
+	// JDist holds the centroid-to-centroid distance across each interior
+	// J-direction face (index i*(NJ+1)+j, j = 1..NJ-1; boundary entries are
+	// zero), the wall-normal spacing the thin-layer viscous flux divides by.
+	JDist []float64
+	// Vol and Area hold the cell volumes (Pappus when axisymmetric) and
+	// planar areas: index i*NJ+j.
+	Vol, Area []float64
+	// Cx, Cy hold the cell centroids: index i*NJ+j.
+	Cx, Cy []float64
+	// WallHalf holds the wall-normal half height of cell (i, 0) per i-line.
+	WallHalf []float64
+}
+
+// Metrics returns the precomputed metric arrays for the grid, building them
+// on first use and rebuilding if the Axisymmetric flag changed since the
+// last build. Safe for concurrent use.
+func (g *Grid2D) Metrics() *Metrics {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.metrics == nil || g.metrics.Axisymmetric != g.Axisymmetric {
+		g.metrics = g.buildMetrics()
+	}
+	return g.metrics
+}
+
+func (g *Grid2D) buildMetrics() *Metrics {
+	ni, nj := g.NI, g.NJ
+	m := &Metrics{
+		NI: ni, NJ: nj, Axisymmetric: g.Axisymmetric,
+		FaceIN:   make([]float64, 3*(ni+1)*nj),
+		FaceJN:   make([]float64, 3*ni*(nj+1)),
+		JDist:    make([]float64, ni*(nj+1)),
+		Vol:      make([]float64, ni*nj),
+		Area:     make([]float64, ni*nj),
+		Cx:       make([]float64, ni*nj),
+		Cy:       make([]float64, ni*nj),
+		WallHalf: make([]float64, ni),
+	}
+	for i := 0; i <= ni; i++ {
+		for j := 0; j < nj; j++ {
+			sx, sy := g.FaceI(i, j)
+			k := i*nj + j
+			if mag := math.Hypot(sx, sy); mag > 0 {
+				m.FaceIN[3*k], m.FaceIN[3*k+1], m.FaceIN[3*k+2] = sx/mag, sy/mag, mag
+			}
+		}
+	}
+	for i := 0; i < ni; i++ {
+		for j := 0; j <= nj; j++ {
+			sx, sy := g.FaceJ(i, j)
+			k := i*(nj+1) + j
+			if mag := math.Hypot(sx, sy); mag > 0 {
+				m.FaceJN[3*k], m.FaceJN[3*k+1], m.FaceJN[3*k+2] = sx/mag, sy/mag, mag
+			}
+		}
+		for j := 0; j < nj; j++ {
+			k := i*nj + j
+			m.Area[k] = g.CellArea(i, j)
+			m.Vol[k] = g.CellVolume(i, j)
+			m.Cx[k], m.Cy[k] = g.CellCenter(i, j)
+		}
+		for j := 1; j < nj; j++ {
+			km, kp := i*nj+j-1, i*nj+j
+			m.JDist[i*(nj+1)+j] = math.Hypot(m.Cx[kp]-m.Cx[km], m.Cy[kp]-m.Cy[km])
+		}
+		dx := g.X[i][1] - g.X[i][0]
+		dy := g.Y[i][1] - g.Y[i][0]
+		m.WallHalf[i] = 0.5 * math.Hypot(dx, dy)
+	}
+	return m
+}
+
+// Refit regenerates the grid between the same body and wall-clustering
+// parameters but a new outer-boundary standoff function, so the outer
+// boundary can be re-fitted to a computed shock locus (grid sequencing, or
+// shrink-wrapping the shock layer after a first solve). The receiver is not
+// modified; the axisymmetric flag carries over.
+func (g *Grid2D) Refit(standoff func(s float64) float64) (*Grid2D, error) {
+	if g.body == nil {
+		return nil, fmt.Errorf("grid: Refit requires a grid built by NewBlunt")
+	}
+	ng, err := NewBlunt(g.body, g.sMax, g.NI, g.NJ, standoff, g.beta)
+	if err != nil {
+		return nil, err
+	}
+	ng.Axisymmetric = g.Axisymmetric
+	return ng, nil
+}
+
+// Coarsen regenerates the grid with the cell counts divided by factor
+// (floored at 4 cells per direction so MUSCL stencils stay valid), for use
+// as the first stage of a grid-sequenced solve.
+func (g *Grid2D) Coarsen(factor int) (*Grid2D, error) {
+	if g.body == nil {
+		return nil, fmt.Errorf("grid: Coarsen requires a grid built by NewBlunt")
+	}
+	if factor < 2 {
+		return nil, fmt.Errorf("grid: coarsening factor %d below 2", factor)
+	}
+	ni := g.NI / factor
+	if ni < 4 {
+		ni = 4
+	}
+	nj := g.NJ / factor
+	if nj < 4 {
+		nj = 4
+	}
+	if ni >= g.NI || nj >= g.NJ {
+		return nil, fmt.Errorf("grid: %dx%d too small to coarsen by %d", g.NI, g.NJ, factor)
+	}
+	ng, err := NewBlunt(g.body, g.sMax, ni, nj, g.standoff, g.beta)
+	if err != nil {
+		return nil, err
+	}
+	ng.Axisymmetric = g.Axisymmetric
+	return ng, nil
+}

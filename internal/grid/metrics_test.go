@@ -1,0 +1,157 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"cataero/internal/geometry"
+)
+
+// Equivalence: cached metrics must match the on-the-fly geometry queries to
+// machine precision, planar and axisymmetric.
+func TestMetricsMatchOnTheFly(t *testing.T) {
+	for _, axi := range []bool{false, true} {
+		g := sphereGrid(t, 11, 13)
+		g.Axisymmetric = axi
+		m := g.Metrics()
+		if m.Axisymmetric != axi {
+			t.Fatalf("axi=%v: metrics flag %v", axi, m.Axisymmetric)
+		}
+		// checkFace asserts one cached (nx, ny, area) triplet reproduces the
+		// on-the-fly area vector (sx, sy) to machine precision.
+		checkFace := func(label string, i, j, k int, cache []float64, sx, sy float64) {
+			t.Helper()
+			mag := math.Hypot(sx, sy)
+			if math.Abs(cache[k+2]-mag) > 1e-15*mag {
+				t.Fatalf("axi=%v %s area (%d,%d): %g want %g", axi, label, i, j, cache[k+2], mag)
+			}
+			if mag > 0 {
+				if math.Abs(cache[k]*mag-sx) > 1e-12*mag || math.Abs(cache[k+1]*mag-sy) > 1e-12*mag {
+					t.Fatalf("axi=%v %s normal (%d,%d) inconsistent", axi, label, i, j)
+				}
+			}
+		}
+		for i := 0; i <= g.NI; i++ {
+			for j := 0; j < g.NJ; j++ {
+				sx, sy := g.FaceI(i, j)
+				checkFace("FaceIN", i, j, 3*(i*m.NJ+j), m.FaceIN, sx, sy)
+			}
+		}
+		for i := 0; i < g.NI; i++ {
+			for j := 0; j <= g.NJ; j++ {
+				sx, sy := g.FaceJ(i, j)
+				checkFace("FaceJN", i, j, 3*(i*(m.NJ+1)+j), m.FaceJN, sx, sy)
+			}
+			for j := 0; j < g.NJ; j++ {
+				k := i*m.NJ + j
+				if v, w := m.Vol[k], g.CellVolume(i, j); v != w {
+					t.Fatalf("axi=%v Vol(%d,%d): cached %g want %g", axi, i, j, v, w)
+				}
+				if a, w := m.Area[k], g.CellArea(i, j); a != w {
+					t.Fatalf("axi=%v Area(%d,%d): cached %g want %g", axi, i, j, a, w)
+				}
+				wx, wy := g.CellCenter(i, j)
+				if m.Cx[k] != wx || m.Cy[k] != wy {
+					t.Fatalf("axi=%v Centroid(%d,%d): cached (%g,%g) want (%g,%g)", axi, i, j, m.Cx[k], m.Cy[k], wx, wy)
+				}
+			}
+			// Interior J-face centroid spacings.
+			for j := 1; j < g.NJ; j++ {
+				xm, ym := g.CellCenter(i, j-1)
+				xp, yp := g.CellCenter(i, j)
+				want := math.Hypot(xp-xm, yp-ym)
+				if d := m.JDist[i*(m.NJ+1)+j]; math.Abs(d-want) > 1e-15*want {
+					t.Fatalf("axi=%v JDist(%d,%d): %g want %g", axi, i, j, d, want)
+				}
+			}
+			// Wall half heights.
+			dx := g.X[i][1] - g.X[i][0]
+			dy := g.Y[i][1] - g.Y[i][0]
+			if want := 0.5 * math.Hypot(dx, dy); m.WallHalf[i] != want {
+				t.Fatalf("axi=%v WallHalf(%d): %g want %g", axi, i, m.WallHalf[i], want)
+			}
+		}
+	}
+}
+
+// The cache must rebuild when the axisymmetric flag flips after first use.
+func TestMetricsRebuildOnAxisymmetricChange(t *testing.T) {
+	g := sphereGrid(t, 6, 6)
+	planar := g.Metrics().Vol[3*6+3]
+	g.Axisymmetric = true
+	axi := g.Metrics().Vol[3*6+3]
+	_, yc := g.CellCenter(3, 3)
+	if math.Abs(axi-planar*yc) > 1e-12*axi {
+		t.Errorf("stale metrics after flag change: %g want %g", axi, planar*yc)
+	}
+	// Same flag again: cached pointer is reused.
+	if g.Metrics() != g.Metrics() {
+		t.Error("metrics rebuilt without a flag change")
+	}
+}
+
+func TestRefit(t *testing.T) {
+	g := sphereGrid(t, 8, 10)
+	g.Axisymmetric = true
+	ng, err := g.Refit(func(s float64) float64 { return 0.15 + 0.1*s })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ng.Axisymmetric {
+		t.Error("Refit dropped the axisymmetric flag")
+	}
+	if ng.NI != g.NI || ng.NJ != g.NJ {
+		t.Fatalf("Refit changed the cell counts: %dx%d", ng.NI, ng.NJ)
+	}
+	// Wall nodes unchanged, outer boundary moved to the new standoff.
+	for i := 0; i <= g.NI; i++ {
+		if ng.X[i][0] != g.X[i][0] || ng.Y[i][0] != g.Y[i][0] {
+			t.Fatalf("Refit moved wall node %d", i)
+		}
+	}
+	if d := ng.WallDistance(0); math.Abs(d-0.15) > 1e-9 {
+		t.Errorf("refit standoff %g want 0.15", d)
+	}
+	if ng.WallDistance(g.NI) <= ng.WallDistance(0) {
+		t.Error("refit standoff should grow along the body")
+	}
+}
+
+func TestCoarsen(t *testing.T) {
+	g := sphereGrid(t, 16, 24)
+	g.Axisymmetric = true
+	cg, err := g.Coarsen(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.NI != 8 || cg.NJ != 12 {
+		t.Fatalf("coarse counts %dx%d want 8x12", cg.NI, cg.NJ)
+	}
+	if !cg.Axisymmetric {
+		t.Error("Coarsen dropped the axisymmetric flag")
+	}
+	// Same wall and outer envelope.
+	if math.Abs(cg.WallDistance(0)-g.WallDistance(0)) > 1e-9 {
+		t.Error("coarse grid standoff differs")
+	}
+	if _, err := g.Coarsen(1); err == nil {
+		t.Error("factor 1 accepted")
+	}
+	small := sphereGrid(t, 4, 4)
+	if _, err := small.Coarsen(2); err == nil {
+		t.Error("coarsening a 4x4 grid accepted")
+	}
+}
+
+func TestBetaValidation(t *testing.T) {
+	b := geometry.NewSphere(1)
+	for _, beta := range []float64{1, 0.5, -2} {
+		if _, err := NewBlunt(b, b.MaxS(), 8, 8, func(s float64) float64 { return 0.3 }, beta); err == nil {
+			t.Errorf("beta=%g accepted", beta)
+		}
+	}
+	// The doc promises 1.001 is valid strong clustering.
+	if _, err := NewBlunt(b, b.MaxS(), 8, 8, func(s float64) float64 { return 0.3 }, 1.001); err != nil {
+		t.Errorf("beta=1.001 rejected: %v", err)
+	}
+}

@@ -32,6 +32,12 @@ type Case struct {
 	CFL      float64
 	Mu       func(T float64) float64
 	K        func(T float64) float64
+	// Flux selects the upwind flux kernel by name (default fvm.DefaultFlux).
+	Flux string
+	// Sequence, when non-nil, runs the solve grid-sequenced: converge on a
+	// coarsened grid first, then finish on the fine grid from the
+	// interpolated coarse state (see fvm.SolveSequenced).
+	Sequence *fvm.SequenceOptions
 }
 
 // Result carries the converged field and surface data.
@@ -77,7 +83,7 @@ func Solve(ctx context.Context, c Case) (*Result, error) {
 		return nil, err
 	}
 	g.Axisymmetric = true
-	s, err := fvm.New(g, fvm.Options{
+	o := fvm.Options{
 		Gas:          c.Gas,
 		Viscous:      true,
 		Wall:         fvm.NoSlipIsothermal,
@@ -88,13 +94,21 @@ func Solve(ctx context.Context, c Case) (*Result, error) {
 		FreestreamPT: [2]float64{c.PInf, c.TInf},
 		CFL:          c.CFL,
 		MUSCL:        true,
-	})
+		Flux:         c.Flux,
+	}
+	const dropTol = 5e-4
+	var s *fvm.Solver
+	if c.Sequence != nil {
+		s, _, err = fvm.SolveSequenced(ctx, g, o, c.MaxSteps, dropTol, *c.Sequence)
+	} else {
+		if s, err = fvm.New(g, o); err == nil {
+			_, err = s.RunCtx(ctx, c.MaxSteps, dropTol)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
-	if _, err := s.RunCtx(ctx, c.MaxSteps, 5e-4); err != nil {
-		return nil, err
-	}
+	g = s.G // sequencing may have re-fitted the outer boundary
 	res := &Result{Solver: s, Grid: g, QWall: s.WallHeatFlux()}
 	res.S = make([]float64, c.NI)
 	for i := 0; i < c.NI; i++ {

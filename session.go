@@ -20,6 +20,8 @@ type Session struct {
 	quality Quality
 	workers int
 	gamma   float64
+	flux    string
+	gridSeq bool
 }
 
 // Option configures a Session at construction.
@@ -57,6 +59,22 @@ func WithGamma(g float64) Option {
 	}
 }
 
+// WithFlux sets the default finite-volume flux kernel ("hlle", "hllc",
+// "ausm+") stamped onto problems whose Flux field is left empty. The kernel
+// names come from the fvm flux registry; an unknown name fails at solve
+// time with the list of registered kernels.
+func WithFlux(name string) Option {
+	return func(s *Session) { s.flux = name }
+}
+
+// WithGridSequencing turns on grid-sequenced NS and Euler shock-shape
+// solves by default: each solve converges on a coarsened grid first and
+// finishes on the fine grid from the interpolated coarse state, which
+// reaches the same residual drop in less wall-clock time.
+func WithGridSequencing(on bool) Option {
+	return func(s *Session) { s.gridSeq = on }
+}
+
 // NewSession builds a session from functional options. The zero
 // configuration is useful as-is: solver-default grids, GOMAXPROCS batch
 // workers, chemistry taken from each problem.
@@ -79,6 +97,12 @@ func (s *Session) apply(p Problem) Problem {
 	}
 	if p.Gamma == 0 && s.gamma != 0 {
 		p.Gamma = s.gamma
+	}
+	if p.Flux == "" && s.flux != "" {
+		p.Flux = s.flux
+	}
+	if s.gridSeq {
+		p.GridSequencing = true
 	}
 	if s.quality >= 2 {
 		if p.NStations == 0 {

@@ -213,3 +213,31 @@ func TestSessionShockShape(t *testing.T) {
 		t.Errorf("reacting standoff %g should be below ideal %g", dE, dI)
 	}
 }
+
+func TestSessionFluxAndSequencingOptions(t *testing.T) {
+	s := NewSession(WithFlux("hllc"), WithGridSequencing(true))
+	p := s.apply(smallNSProblem())
+	if p.Flux != "hllc" || !p.GridSequencing {
+		t.Fatalf("options not stamped: flux=%q seq=%v", p.Flux, p.GridSequencing)
+	}
+	// A problem-level kernel wins over the session default.
+	q := smallNSProblem()
+	q.Flux = "ausm+"
+	if got := s.apply(q).Flux; got != "ausm+" {
+		t.Fatalf("problem flux overridden: %q", got)
+	}
+	env, err := s.Solve(context.Background(), smallNSProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.QConvStag <= 0 {
+		t.Fatal("no NS wall heating from the HLLC grid-sequenced solve")
+	}
+}
+
+func TestSessionUnknownFluxFails(t *testing.T) {
+	s := NewSession(WithFlux("upwind-o-matic"))
+	if _, err := s.Solve(context.Background(), smallNSProblem()); err == nil {
+		t.Fatal("unknown flux kernel accepted")
+	}
+}
