@@ -14,16 +14,27 @@
 //
 //	s := cataero.NewSession(cataero.WithChemistry(cataero.EquilibriumAir),
 //		cataero.WithWorkers(8))
-//	env, err := s.Solve(ctx, cataero.Problem{Class: cataero.VSL, ...})
+//	run := s.Submit(ctx, cataero.Problem{Class: cataero.NS, ...})
+//	snap := run.Snapshot()       // live: phase, step count, residual
+//	env, err := run.Wait()       // block for the result
 //	results, err := s.SolveBatch(ctx, problems) // concurrent sweep
 //
-// A session owns lazily-built, cached model stacks (one per chemistry) and
-// a keyed cache of tabulated equilibrium EOS tables, so repeated NS or
-// shock-shape solves build each table exactly once. Behind the session,
-// every solver class resolves through a registry in internal/core — new
-// equation sets register themselves and plug in without touching the
-// dispatcher. Contexts are threaded into the solver iteration loops, so
-// sweeps cancel promptly.
+// Submit returns immediately with a Run handle exposing live progress
+// (Snapshot/Watch), cancellation (Cancel) and the eventual result (Wait);
+// Solve and SolveBatch are thin blocking wrappers over submitted runs. A
+// session owns lazily-built, cached model stacks (one per chemistry), a
+// keyed cache of tabulated equilibrium EOS tables, and one shared worker
+// pool serving every solve, so repeated NS or shock-shape solves build each
+// table exactly once and concurrent sweeps keep a fixed resident worker
+// count. Behind the session, every solver class resolves through a registry
+// in internal/core — new equation sets register themselves and plug in
+// without touching the dispatcher. Contexts are threaded into the solver
+// iteration loops, so sweeps cancel promptly.
+//
+// Problems also have a declarative form: a JSON case file (LoadCase,
+// SaveCase, CaseSpec) with named body shapes standing in for the
+// geometry.Body interface, runnable from the command line via
+// `catsim run case.json`.
 //
 // The public surface also re-exports the core problem/environment types and
 // provides one runner per figure of the paper's evaluation (Figs. 1-9); the
@@ -36,6 +47,7 @@ import (
 	"context"
 
 	"cataero/internal/core"
+	"cataero/internal/fvm"
 )
 
 // Problem is a complete aerothermal case specification. See core.Problem.
@@ -73,6 +85,34 @@ const (
 	EquilibriumAir   = core.EquilibriumAir
 	EquilibriumTitan = core.EquilibriumTitan
 )
+
+// Toggle is a tri-state per-problem switch over a session default (see
+// Problem.GridSequencing): the zero value defers to the session, ToggleOn
+// and ToggleOff force the feature regardless of the session's setting.
+type Toggle = core.Toggle
+
+// Toggle states.
+const (
+	ToggleDefault = core.ToggleDefault
+	ToggleOn      = core.ToggleOn
+	ToggleOff     = core.ToggleOff
+)
+
+// Monitor observes solver progress (see core.Monitor). Problem.Monitor
+// receives every iteration report in addition to the Run handle's own
+// snapshot tracking.
+type Monitor = core.Monitor
+
+// MonitorFunc adapts a function to the Monitor interface.
+type MonitorFunc = core.MonitorFunc
+
+// Progress is one live observation of a running solve.
+type Progress = core.Progress
+
+// FluxKernels returns the names of the registered finite-volume flux
+// kernels, ascending — the valid values of Problem.Flux and WithFlux, for
+// services and CLIs that validate or enumerate kernels up front.
+func FluxKernels() []string { return fvm.FluxKernels() }
 
 // Solve dispatches a problem to its solver class and returns the
 // aerothermal environment.

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFigsUnknownFigure(t *testing.T) {
+	if code := runFigs("42", 1, 0, "", false); code != 2 {
+		t.Errorf("unknown figure exit code %d, want 2", code)
+	}
+	if code := runFigs("", 1, 0, "", false); code != 2 {
+		t.Errorf("empty figure list exit code %d, want 2", code)
+	}
+}
+
+func TestCheckFluxFailsFast(t *testing.T) {
+	if checkFlux("upwind-o-matic") {
+		t.Error("unknown kernel accepted")
+	}
+	for _, k := range []string{"", "hlle", "hllc", "ausm+"} {
+		if !checkFlux(k) {
+			t.Errorf("kernel %q rejected", k)
+		}
+	}
+}
+
+func TestFigsCmdRejectsUnknownFluxBeforeSolving(t *testing.T) {
+	// Figure 9 is the slowest solve in the suite; an unknown kernel must
+	// abort with a usage error before it ever starts.
+	if code := figsCmd([]string{"-fig", "9", "-flux", "nope"}); code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunCmdSmokeCase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NS solve in short mode")
+	}
+	if code := runCmd([]string{"testdata/smoke.json", "-progress"}); code != 0 {
+		t.Errorf("smoke case exit code %d", code)
+	}
+	if code := runCmd([]string{"testdata/missing.json"}); code != 1 {
+		t.Errorf("missing case exit code %d, want 1", code)
+	}
+	if code := runCmd([]string{}); code != 2 {
+		t.Errorf("no-argument exit code %d, want 2", code)
+	}
+}
+
+// A bad flux inside the case file itself must fail fast (exit 2, usage
+// class) before the session builds anything — not mid-solve.
+func TestRunCmdRejectsCaseFileFlux(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	data := []byte(`{"class":"ns","chemistry":"ideal","p_inf":100,"t_inf":250,"v_inf":2000,
+		"nose_radius":0.3,"ni":8,"nj":14,"max_steps":50,"flux":"upwind-o-matic"}`)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runCmd([]string{path}); code != 2 {
+		t.Errorf("case-file flux exit code %d, want 2", code)
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"cataero"
+)
+
+// runCmd solves a declarative JSON case file: `catsim run case.json
+// [-progress]`. The case is submitted as an asynchronous run; -progress
+// follows it with a live residual ticker, and an interrupt cancels the run
+// cleanly. Flags may come before or after the case path.
+func runCmd(args []string) int {
+	fs := flag.NewFlagSet("catsim run", flag.ExitOnError)
+	progress := fs.Bool("progress", false, "print a live solver progress/residual ticker")
+	fluxName := fs.String("flux", "", "override the case's flux kernel (see 'catsim kernels')")
+	workers := fs.Int("workers", 0, "concurrent solve bound (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: catsim run [flags] case.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+	path := rest[0]
+	// Accept trailing flags too: `catsim run case.json -progress`.
+	if len(rest) > 1 {
+		fs.Parse(rest[1:])
+		if fs.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "catsim run: unexpected argument %q\n", fs.Arg(0))
+			return 2
+		}
+	}
+	if !checkFlux(*fluxName) {
+		return 2
+	}
+
+	p, err := cataero.LoadCase(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *fluxName != "" {
+		p.Flux = *fluxName
+	}
+	// The case file's own flux field fails fast too — before the session
+	// builds models or any solve starts.
+	if !checkFlux(p.Flux) {
+		return 2
+	}
+
+	var opts []cataero.Option
+	if *workers > 0 {
+		opts = append(opts, cataero.WithWorkers(*workers))
+	}
+	s := cataero.NewSession(opts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	label := path
+	if p.Name != "" {
+		label = fmt.Sprintf("%s (%q)", path, p.Name)
+	}
+	fmt.Printf("case %s: %s class, %s\n", label, p.Class, p.Chemistry)
+	run := s.Submit(ctx, p)
+	if *progress {
+		followRun(run)
+	}
+	env, err := run.Wait()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catsim run: %v\n", err)
+		return 1
+	}
+	printEnvironment(env, run.Snapshot())
+	return 0
+}
+
+// followRun prints a live progress line whenever the run advances, until it
+// finishes. Lines print at most every 250 ms so long solves stay readable
+// in logs.
+func followRun(run *cataero.Run) {
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	lastStep, lastPhase := -1, ""
+	for {
+		select {
+		case <-run.Done():
+			return
+		case <-tick.C:
+			snap := run.Snapshot()
+			if snap.State != cataero.RunRunning || (snap.Step == lastStep && snap.Phase == lastPhase) {
+				continue
+			}
+			lastStep, lastPhase = snap.Step, snap.Phase
+			line := fmt.Sprintf("  [%s/%s] step %d", snap.Solver, snap.Phase, snap.Step)
+			if snap.MaxSteps > 0 {
+				line += fmt.Sprintf("/%d", snap.MaxSteps)
+			}
+			if snap.Residual > 0 {
+				line += fmt.Sprintf("  residual %.3e", snap.Residual)
+			}
+			fmt.Printf("%s  elapsed %s\n", line, snap.Elapsed.Round(time.Millisecond))
+		}
+	}
+}
+
+// printEnvironment reports the solved aerothermal environment.
+func printEnvironment(env *cataero.Environment, snap cataero.Snapshot) {
+	fmt.Printf("%s\n", env.Description)
+	fmt.Printf("  q_conv(stag) = %.2f W/cm^2\n", env.QConvStag/1e4)
+	if env.QRadStag > 0 {
+		fmt.Printf("  q_rad(stag)  = %.2f W/cm^2\n", env.QRadStag/1e4)
+	}
+	if env.Standoff > 0 {
+		fmt.Printf("  standoff     = %.2f mm\n", env.Standoff*1000)
+	}
+	if n := len(env.Surface); n > 0 {
+		fmt.Printf("  surface      = %d stations, s = [0, %.3f] m\n", n, env.Surface[n-1].S)
+	}
+	if snap.Residual > 0 {
+		fmt.Printf("  final residual %.3e after %d steps (%s, %s phase)\n",
+			snap.Residual, snap.Step, snap.Solver, snap.Phase)
+	}
+	fmt.Printf("  wall clock   = %s\n", snap.Elapsed.Round(time.Millisecond))
+}

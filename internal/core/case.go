@@ -1,0 +1,251 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"cataero/internal/geometry"
+)
+
+// CaseSpec is the declarative, JSON-marshalable mirror of a Problem: the
+// case-file format of the toolkit. Enumerations are spelled as strings and
+// the geometry.Body interface stands behind a named BodySpec, so a spec
+// round-trips through JSON and back into an equivalent Problem. Fields a
+// Problem carries as functions (Standoff, Mu, K) or live callbacks
+// (Monitor) have no declarative form and are dropped by SpecOf.
+type CaseSpec struct {
+	// Name is an optional label for reports; it does not affect the solve.
+	Name      string  `json:"name,omitempty"`
+	Class     string  `json:"class"`
+	Chemistry string  `json:"chemistry,omitempty"`
+	Gamma     float64 `json:"gamma,omitempty"`
+
+	PInf float64 `json:"p_inf"`
+	TInf float64 `json:"t_inf"`
+	VInf float64 `json:"v_inf"`
+
+	Body       *BodySpec `json:"body,omitempty"`
+	NoseRadius float64   `json:"nose_radius,omitempty"`
+
+	TWall  float64 `json:"t_wall,omitempty"`
+	GammaW float64 `json:"gamma_w,omitempty"`
+
+	Radiation bool `json:"radiation,omitempty"`
+
+	NStations int `json:"n_stations,omitempty"`
+	NI        int `json:"ni,omitempty"`
+	NJ        int `json:"nj,omitempty"`
+	MaxSteps  int `json:"max_steps,omitempty"`
+
+	Flux string `json:"flux,omitempty"`
+	// GridSequencing is "" (session default), "on" or "off".
+	GridSequencing string `json:"grid_sequencing,omitempty"`
+}
+
+// BodySpec names a body shape declaratively: a kind from the geometry
+// package plus its dimensions. Angles are in degrees (case files are written
+// by hand).
+type BodySpec struct {
+	// Kind is "sphere", "sphere-cone" or "hyperboloid".
+	Kind string `json:"kind"`
+	// NoseRadius is the stagnation-point radius of curvature, m.
+	NoseRadius float64 `json:"nose_radius"`
+	// HalfAngleDeg is the cone half angle or hyperboloid asymptotic half
+	// angle, degrees.
+	HalfAngleDeg float64 `json:"half_angle_deg,omitempty"`
+	// BaseRadius is the sphere-cone base radius, m.
+	BaseRadius float64 `json:"base_radius,omitempty"`
+	// MaxS is the hyperboloid arc-length extent, m.
+	MaxS float64 `json:"max_s,omitempty"`
+}
+
+// Body instantiates the named shape.
+func (b BodySpec) Body() (geometry.Body, error) {
+	if b.NoseRadius <= 0 {
+		return nil, fmt.Errorf("core: body %q needs a positive nose_radius", b.Kind)
+	}
+	switch b.Kind {
+	case "sphere":
+		return geometry.NewSphere(b.NoseRadius), nil
+	case "sphere-cone":
+		if b.HalfAngleDeg <= 0 || b.BaseRadius <= 0 {
+			return nil, fmt.Errorf("core: sphere-cone needs half_angle_deg and base_radius")
+		}
+		return geometry.NewSphereCone(b.NoseRadius, b.HalfAngleDeg*math.Pi/180, b.BaseRadius), nil
+	case "hyperboloid":
+		if b.HalfAngleDeg <= 0 || b.MaxS <= 0 {
+			return nil, fmt.Errorf("core: hyperboloid needs half_angle_deg and max_s")
+		}
+		return geometry.NewHyperboloid(b.NoseRadius, b.HalfAngleDeg*math.Pi/180, b.MaxS), nil
+	}
+	return nil, fmt.Errorf("core: unknown body kind %q (want sphere, sphere-cone or hyperboloid)", b.Kind)
+}
+
+// bodySpecOf maps a concrete geometry type back to its named spec.
+func bodySpecOf(body geometry.Body) (*BodySpec, error) {
+	switch b := body.(type) {
+	case nil:
+		return nil, nil
+	case *geometry.Sphere:
+		return &BodySpec{Kind: "sphere", NoseRadius: b.R}, nil
+	case *geometry.SphereCone:
+		return &BodySpec{Kind: "sphere-cone", NoseRadius: b.Rn,
+			HalfAngleDeg: b.ThetaC * 180 / math.Pi, BaseRadius: b.Rb}, nil
+	case *geometry.Hyperboloid:
+		return &BodySpec{Kind: "hyperboloid", NoseRadius: b.Rn,
+			HalfAngleDeg: b.ThetaA * 180 / math.Pi, MaxS: b.MaxS()}, nil
+	}
+	return nil, fmt.Errorf("core: body %T has no case-file representation", body)
+}
+
+// class name table, matching the solver registry names.
+var classNames = map[SolverClass]string{VSL: "vsl", EBL: "ebl", PNS: "pns", NS: "ns"}
+
+// ParseClass resolves a case-file class name ("vsl", "ebl", "pns", "ns").
+func ParseClass(name string) (SolverClass, error) {
+	for c, n := range classNames {
+		if n == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown solver class %q (want vsl, ebl, pns or ns)", name)
+}
+
+// chemistry name table for case files.
+var chemistryNames = map[GasChemistry]string{
+	IdealGas:         "ideal",
+	EquilibriumAir:   "equilibrium-air",
+	EquilibriumTitan: "equilibrium-titan",
+}
+
+// ParseChemistry resolves a case-file chemistry name; the empty string is
+// ChemistryUnset (session default).
+func ParseChemistry(name string) (GasChemistry, error) {
+	if name == "" {
+		return ChemistryUnset, nil
+	}
+	for c, n := range chemistryNames {
+		if n == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown chemistry %q (want ideal, equilibrium-air or equilibrium-titan)", name)
+}
+
+func parseToggle(s string) (Toggle, error) {
+	switch s {
+	case "":
+		return ToggleDefault, nil
+	case "on":
+		return ToggleOn, nil
+	case "off":
+		return ToggleOff, nil
+	}
+	return 0, fmt.Errorf("core: grid_sequencing %q (want \"on\", \"off\" or omitted)", s)
+}
+
+func toggleName(t Toggle) string {
+	switch t {
+	case ToggleOn:
+		return "on"
+	case ToggleOff:
+		return "off"
+	}
+	return ""
+}
+
+// SpecOf converts a Problem to its declarative case spec. Function-valued
+// fields (Standoff, Mu, K) and the Monitor are dropped — they have no
+// serialized form; a Body with no named shape is an error.
+func SpecOf(p Problem) (CaseSpec, error) {
+	body, err := bodySpecOf(p.Body)
+	if err != nil {
+		return CaseSpec{}, err
+	}
+	class, ok := classNames[p.Class]
+	if !ok {
+		return CaseSpec{}, fmt.Errorf("core: solver class %d has no case-file name", p.Class)
+	}
+	chem := ""
+	if p.Chemistry != ChemistryUnset {
+		if chem, ok = chemistryNames[p.Chemistry]; !ok {
+			return CaseSpec{}, fmt.Errorf("core: chemistry %d has no case-file name", p.Chemistry)
+		}
+	}
+	return CaseSpec{
+		Name:      p.Name,
+		Class:     class,
+		Chemistry: chem,
+		Gamma:     p.Gamma,
+		PInf:      p.PInf, TInf: p.TInf, VInf: p.VInf,
+		Body: body, NoseRadius: p.NoseRadius,
+		TWall: p.TWall, GammaW: p.GammaW,
+		Radiation: p.Radiation,
+		NStations: p.NStations, NI: p.NI, NJ: p.NJ, MaxSteps: p.MaxSteps,
+		Flux:           p.Flux,
+		GridSequencing: toggleName(p.GridSequencing),
+	}, nil
+}
+
+// Problem instantiates the spec: names resolve through the class and
+// chemistry tables, the body spec through the geometry package.
+func (c CaseSpec) Problem() (Problem, error) {
+	class, err := ParseClass(c.Class)
+	if err != nil {
+		return Problem{}, err
+	}
+	chem, err := ParseChemistry(c.Chemistry)
+	if err != nil {
+		return Problem{}, err
+	}
+	seq, err := parseToggle(c.GridSequencing)
+	if err != nil {
+		return Problem{}, err
+	}
+	p := Problem{
+		Name:      c.Name,
+		Class:     class,
+		Chemistry: chem,
+		Gamma:     c.Gamma,
+		PInf:      c.PInf, TInf: c.TInf, VInf: c.VInf,
+		NoseRadius: c.NoseRadius,
+		TWall:      c.TWall, GammaW: c.GammaW,
+		Radiation: c.Radiation,
+		NStations: c.NStations, NI: c.NI, NJ: c.NJ, MaxSteps: c.MaxSteps,
+		Flux:           c.Flux,
+		GridSequencing: seq,
+	}
+	if c.Body != nil {
+		if p.Body, err = c.Body.Body(); err != nil {
+			return Problem{}, err
+		}
+	}
+	return p, nil
+}
+
+// MarshalJSON serializes the problem as its declarative case spec, so a
+// Problem built in code can be written out as a case file and reloaded.
+// Function-valued fields and the Monitor are dropped; a Body that is not a
+// named geometry shape is an error.
+func (p Problem) MarshalJSON() ([]byte, error) {
+	spec, err := SpecOf(p)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(spec)
+}
+
+// UnmarshalJSON parses a case-file spec into the problem.
+func (p *Problem) UnmarshalJSON(data []byte) error {
+	var spec CaseSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return err
+	}
+	q, err := spec.Problem()
+	if err != nil {
+		return err
+	}
+	*p = q
+	return nil
+}

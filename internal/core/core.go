@@ -84,8 +84,50 @@ func (c GasChemistry) String() string {
 	return "unknown"
 }
 
+// Toggle is a tri-state switch for per-problem feature flags that have a
+// session-level default: the zero value defers to the session, and a
+// problem can force the feature on or off regardless of that default.
+type Toggle int
+
+const (
+	// ToggleDefault defers to the session (or solver) default.
+	ToggleDefault Toggle = iota
+	// ToggleOn forces the feature on for this problem.
+	ToggleOn
+	// ToggleOff forces the feature off, overriding a session that enables
+	// it by default.
+	ToggleOff
+)
+
+func (t Toggle) String() string {
+	switch t {
+	case ToggleDefault:
+		return "default"
+	case ToggleOn:
+		return "on"
+	case ToggleOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+// Enabled resolves the toggle against a default.
+func (t Toggle) Enabled(def bool) bool {
+	switch t {
+	case ToggleOn:
+		return true
+	case ToggleOff:
+		return false
+	}
+	return def
+}
+
 // Problem is a complete aerothermal case specification.
 type Problem struct {
+	// Name is an optional case label for reports and case files; it does
+	// not affect the solve.
+	Name string
+
 	Class     SolverClass
 	Chemistry GasChemistry
 	Gamma     float64 // ideal-gas gamma (default 1.4)
@@ -114,10 +156,12 @@ type Problem struct {
 	// solver default).
 	Flux string
 
-	// GridSequencing runs NS and Euler shock-shape solves grid-sequenced:
-	// converge on a coarsened grid, then finish on the fine grid from the
-	// interpolated coarse state.
-	GridSequencing bool
+	// GridSequencing controls grid-sequenced NS and Euler shock-shape
+	// solves (converge on a coarsened grid, then finish on the fine grid
+	// from the interpolated coarse state). The zero value defers to the
+	// session default; ToggleOff disables sequencing even on a session that
+	// enables it.
+	GridSequencing Toggle
 
 	// Standoff optionally places the outer grid boundary as a function of
 	// arc length (Euler shock-shape solves); nil uses the solver default.
@@ -126,6 +170,11 @@ type Problem struct {
 	// Mu and K optionally override the NS-class transport closures (e.g.
 	// equilibrium-composition viscosity/conductivity); nil uses Sutherland.
 	Mu, K func(T float64) float64
+
+	// Monitor, when non-nil, observes the solve's iteration loops (see
+	// Monitor). The session layer installs its own monitor for Run handles
+	// and forwards to this one.
+	Monitor Monitor
 }
 
 // SurfacePoint is one station of a surface distribution.

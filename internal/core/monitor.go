@@ -1,0 +1,43 @@
+package core
+
+// Progress is one live observation of a running solve: which solver class
+// is executing, which phase of its schedule it is in, how far along it is
+// and the latest residual when the class computes one. The paper's workflow
+// is long solver campaigns watched by engineers — residual histories and
+// step counts are first-class artifacts, so every iteration loop in the
+// hierarchy reports them through this type.
+type Progress struct {
+	// Class is the problem's solver class. Shock-shape solves do not
+	// dispatch on Class; identify them by Solver ("euler") instead.
+	Class SolverClass
+	// Solver is the registry name of the executing solver ("vsl", "ebl",
+	// "pns", "ns", "euler" for shock-shape solves).
+	Solver string
+	// Phase names the stage of the solver's schedule: "solve" for a plain
+	// finite-volume march, "coarse"/"fine" for the grid-sequencing stages,
+	// "march" for the PNS station march, "profile" for the VSL
+	// stagnation-line profile.
+	Phase string
+	// Step counts completed iterations within the phase: time steps for
+	// the finite-volume classes, stations for PNS, profile points for VSL.
+	Step int
+	// MaxSteps is the phase's iteration budget (0 when open-ended).
+	MaxSteps int
+	// Residual is the latest RMS density residual for the finite-volume
+	// classes; 0 for classes that do not compute one.
+	Residual float64
+}
+
+// Monitor observes the progress of a solve. Callbacks run on the solving
+// goroutine after every iteration, so implementations must be cheap and
+// must not call back into the solve. The session layer's Run handles are
+// Monitors; a Problem may also carry its own.
+type Monitor interface {
+	OnProgress(Progress)
+}
+
+// MonitorFunc adapts a function to the Monitor interface.
+type MonitorFunc func(Progress)
+
+// OnProgress implements Monitor.
+func (f MonitorFunc) OnProgress(p Progress) { f(p) }

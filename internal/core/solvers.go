@@ -15,14 +15,45 @@ import (
 	"cataero/internal/vsl"
 )
 
-// sequenceFor maps the problem-level grid-sequencing switch onto the FVM
+// sequenceFor maps the problem-level grid-sequencing toggle onto the FVM
 // sequencing options (solver defaults; the outer boundary is left where the
-// case put it so sequenced and plain solves share a grid).
+// case put it so sequenced and plain solves share a grid). An unresolved
+// ToggleDefault — a problem solved outside a session — means off.
 func sequenceFor(p Problem) *fvm.SequenceOptions {
-	if !p.GridSequencing {
+	if !p.GridSequencing.Enabled(false) {
 		return nil
 	}
 	return &fvm.SequenceOptions{}
+}
+
+// fvmProgress adapts the problem's Monitor to the finite-volume kernel's
+// per-step callback, stamping the solver identity onto every observation.
+func fvmProgress(p Problem, solver string) fvm.ProgressFunc {
+	if p.Monitor == nil {
+		return nil
+	}
+	mon, class := p.Monitor, p.Class
+	return func(phase string, step, maxSteps int, residual float64) {
+		mon.OnProgress(Progress{
+			Class: class, Solver: solver, Phase: phase,
+			Step: step, MaxSteps: maxSteps, Residual: residual,
+		})
+	}
+}
+
+// countProgress adapts the problem's Monitor to the (step, total) callbacks
+// of the marching and profile solvers, which have no residual to report.
+func countProgress(p Problem, solver, phase string) func(step, total int) {
+	if p.Monitor == nil {
+		return nil
+	}
+	mon, class := p.Monitor, p.Class
+	return func(step, total int) {
+		mon.OnProgress(Progress{
+			Class: class, Solver: solver, Phase: phase,
+			Step: step, MaxSteps: total,
+		})
+	}
 }
 
 // The paper's four equation sets register themselves here; the dispatcher
@@ -104,6 +135,7 @@ func (vslSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment,
 		Mix: m.Mix, Eq: m.Eq, Tr: m.Tr, Rad: rad, Y0: m.Y0,
 		PInf: p.PInf, TInf: p.TInf, VInf: p.VInf,
 		Rn: p.NoseRadius, TWall: p.TWall, NPts: p.NStations,
+		Progress: countProgress(p, "vsl", "profile"),
 	})
 	if err != nil {
 		return nil, err
@@ -194,7 +226,8 @@ func (pnsSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment,
 			return nil, err
 		}
 	}
-	res, err := pns.March(ctx, edges, props, hw, edges[0].H, p.NoseRadius, p.PInf, pns.Options{})
+	res, err := pns.March(ctx, edges, props, hw, edges[0].H, p.NoseRadius, p.PInf,
+		pns.Options{Progress: countProgress(p, "pns", "march")})
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +257,7 @@ func (nsSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment, 
 		TWall: p.TWall, MaxSteps: p.MaxSteps,
 		Mu: p.Mu, K: p.K,
 		Flux: p.Flux, Sequence: sequenceFor(p),
+		Pool: st.Pool(), Progress: fvmProgress(p, "ns"),
 	})
 	if err != nil {
 		return nil, err
@@ -267,6 +301,7 @@ func ShockShapeWith(ctx context.Context, st *Stack, p Problem) (*ShockEnvelope, 
 		MaxSteps: p.MaxSteps,
 		Standoff: p.Standoff,
 		Flux:     p.Flux, Sequence: sequenceFor(p),
+		Pool: st.Pool(), Progress: fvmProgress(p, "euler"),
 	})
 	if err != nil {
 		return nil, err

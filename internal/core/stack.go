@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"cataero/internal/chem"
+	"cataero/internal/fvm"
 	"cataero/internal/gas"
 	"cataero/internal/radiation"
 	"cataero/internal/thermo"
@@ -64,6 +65,9 @@ type Stack struct {
 
 	eqAirOnce sync.Once
 	eqAir     *gas.Equilibrium
+
+	poolOnce sync.Once
+	pool     *fvm.Pool
 
 	tableBuilds atomic.Int64
 }
@@ -170,6 +174,17 @@ func (st *Stack) Table(spec TableSpec) (*gas.Table, error) {
 // TableBuilds reports how many EOS tables this stack has actually sampled —
 // the cache-effectiveness counter asserted by tests and benchmarks.
 func (st *Stack) TableBuilds() int { return int(st.tableBuilds.Load()) }
+
+// Pool returns the stack's shared finite-volume worker pool, building it
+// GOMAXPROCS-sized on first use. Every NS and Euler solve through this
+// stack shares it, so concurrent batch solves keep a fixed resident worker
+// count instead of spawning a private pool per solver (the per-solver pools
+// oversubscribed the CPUs under SolveBatch). The pool reclaims itself by
+// finalizer when the stack is dropped.
+func (st *Stack) Pool() *fvm.Pool {
+	st.poolOnce.Do(func() { st.pool = fvm.NewPool(0) })
+	return st.pool
+}
 
 var (
 	defaultStackOnce sync.Once

@@ -11,7 +11,6 @@ package fvm
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
 	"cataero/internal/gas"
@@ -34,6 +33,14 @@ const (
 	NoSlipIsothermal
 )
 
+// ProgressFunc observes a marching loop: phase names the sequencing stage
+// ("solve" for a plain march, "coarse"/"fine" for a grid-sequenced one),
+// step counts completed time steps within the phase, maxSteps is the
+// phase's step budget and residual is the latest RMS density residual. The
+// callback runs on the marching goroutine after every step, so it must be
+// cheap and must not call back into the solver.
+type ProgressFunc func(phase string, step, maxSteps int, residual float64)
+
 // Options configures a Solver.
 type Options struct {
 	Gas          gas.Model
@@ -47,6 +54,14 @@ type Options struct {
 	Flux         string     // flux kernel name (see FluxKernels); default DefaultFlux
 	FreestreamV  [2]float64 // freestream velocity (x, y components)
 	FreestreamPT [2]float64 // freestream pressure, temperature
+	// Pool, when non-nil, is a shared worker pool for the parallel sweeps;
+	// the solver does not own it and Close leaves it running. When nil the
+	// solver builds a private GOMAXPROCS-sized pool and releases it on
+	// Close.
+	Pool *Pool
+	// Progress, when non-nil, is invoked after every time step of
+	// RunCtx/RunToCtx with the live step count and residual.
+	Progress ProgressFunc
 }
 
 // Solver marches the finite-volume equations to steady state.
@@ -62,7 +77,12 @@ type Solver struct {
 
 	met  *grid.Metrics // precomputed face vectors, volumes, centroids
 	flux FluxKernel
-	pool *workerPool
+	pool *Pool
+	// ownsPool marks a private pool (no Options.Pool) that Close releases.
+	ownsPool bool
+	// phase labels Progress callbacks ("solve"; SolveSequenced relabels its
+	// stages "coarse" and "fine").
+	phase string
 
 	uInf      Cons
 	pInf      Prim
@@ -89,7 +109,7 @@ func New(g *grid.Grid2D, o Options) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Solver{G: g, Opts: o, ni: g.NI, nj: g.NJ, met: g.Metrics(), flux: flux}
+	s := &Solver{G: g, Opts: o, ni: g.NI, nj: g.NJ, met: g.Metrics(), flux: flux, phase: "solve"}
 	n := s.ni * s.nj
 	s.U = make([]Cons, n)
 	s.prim = make([]Prim, n)
@@ -111,20 +131,23 @@ func New(g *grid.Grid2D, o Options) (*Solver, error) {
 	for i := range s.U {
 		s.U[i] = s.uInf
 	}
-	s.pool = newWorkerPool(0)
-	// Pools hold W-1 parked goroutines; reclaim them if the solver is
-	// dropped without an explicit Close (results keep solvers alive for
-	// post-processing, so relying on callers alone would leak).
-	runtime.SetFinalizer(s, (*Solver).Close)
+	if o.Pool != nil {
+		s.pool = o.Pool
+	} else {
+		s.pool = NewPool(0)
+		s.ownsPool = true
+	}
 	return s, nil
 }
 
-// Close releases the solver's worker pool. The solver must not be stepped
-// after Close; calling Close more than once is safe.
+// Close releases the solver's private worker pool (a shared Options.Pool is
+// left running for its other solvers). The solver must not be stepped after
+// Close; calling Close more than once is safe.
 func (s *Solver) Close() {
 	s.closeOnce.Do(func() {
-		runtime.SetFinalizer(s, nil)
-		s.pool.close()
+		if s.ownsPool {
+			s.pool.Close()
+		}
 	})
 }
 

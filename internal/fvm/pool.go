@@ -5,13 +5,18 @@ import (
 	"sync"
 )
 
-// workerPool is a persistent pool of goroutines for the per-step parallel
-// sweeps. The seed spawned a fresh goroutine set for every sweep (~6 sweeps
-// per time step, ~2000 steps per solve); the pool spawns its workers once
-// per solver and feeds them index ranges over a channel instead.
-type workerPool struct {
+// Pool is a persistent set of worker goroutines for the per-step parallel
+// sweeps. A Pool is safe for concurrent use by many solvers at once: sweep
+// chunks are handed to a worker only when one is parked waiting (help-first
+// semantics — see runRanges), so solvers sharing one pool can never
+// deadlock, and the resident goroutine count stays fixed no matter how many
+// solves run concurrently. Sessions create one GOMAXPROCS-sized pool and
+// thread it through every finite-volume solve (Options.Pool); a solver
+// built without a shared pool owns a private one and releases it on Close.
+type Pool struct {
 	workers int
 	tasks   chan poolTask
+	once    sync.Once
 }
 
 // poolTask is one contiguous index range of a parallel sweep.
@@ -21,36 +26,50 @@ type poolTask struct {
 	wg     *sync.WaitGroup
 }
 
-func newWorkerPool(workers int) *workerPool {
+// NewPool builds a pool with the given worker count; workers < 1 sizes the
+// pool to GOMAXPROCS. The pool parks workers-1 goroutines (the goroutine
+// calling into the pool always participates in its own sweep). The
+// goroutines hold only the task channel, never the Pool itself, so an
+// abandoned pool is reclaimed by its finalizer; call Close to release it
+// deterministically.
+func NewPool(workers int) *Pool {
 	if workers < 1 {
-		workers = runtime.NumCPU()
+		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &workerPool{workers: workers}
+	p := &Pool{workers: workers}
 	if workers > 1 {
 		p.tasks = make(chan poolTask)
 		for w := 0; w < workers-1; w++ {
-			go func() {
-				for t := range p.tasks {
-					t.run(t.lo, t.hi)
-					t.wg.Done()
-				}
-			}()
+			go poolWorker(p.tasks)
 		}
+		runtime.SetFinalizer(p, (*Pool).Close)
 	}
 	return p
 }
 
-// close releases the pool's goroutines. The pool must not be used after.
-func (p *workerPool) close() {
-	if p.tasks != nil {
-		close(p.tasks)
+func poolWorker(tasks <-chan poolTask) {
+	for t := range tasks {
+		t.run(t.lo, t.hi)
+		t.wg.Done()
 	}
 }
 
+// Workers reports the pool's sizing (parallel width, including the caller).
+func (p *Pool) Workers() int { return p.workers }
+
+// Close releases the pool's goroutines. No sweep may be in flight or issued
+// after Close; calling Close more than once is safe.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		runtime.SetFinalizer(p, nil)
+		if p.tasks != nil {
+			close(p.tasks)
+		}
+	})
+}
+
 // run executes f(i) for every i in [0, n), split into one chunk per worker.
-// The calling goroutine participates by running the first chunk itself, so
-// a pool of W workers keeps W CPUs busy with W-1 resident goroutines.
-func (p *workerPool) run(n int, f func(i int)) {
+func (p *Pool) run(n int, f func(i int)) {
 	p.runRanges(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			f(i)
@@ -61,7 +80,7 @@ func (p *workerPool) run(n int, f func(i int)) {
 // runSum executes f(i) for every i in [0, n) and returns the sum of the
 // results, accumulating per-chunk partials so the reduction parallelizes
 // without atomics in the inner loop.
-func (p *workerPool) runSum(n int, f func(i int) float64) float64 {
+func (p *Pool) runSum(n int, f func(i int) float64) float64 {
 	if n <= 0 {
 		return 0
 	}
@@ -82,7 +101,7 @@ func (p *workerPool) runSum(n int, f func(i int) float64) float64 {
 }
 
 // chunkSize returns the per-chunk index count used to split a sweep of n.
-func (p *workerPool) chunkSize(n int) int {
+func (p *Pool) chunkSize(n int) int {
 	w := p.workers
 	if w > n {
 		w = n
@@ -94,9 +113,12 @@ func (p *workerPool) chunkSize(n int) int {
 }
 
 // runRanges splits [0, n) into one range per worker and executes run on
-// each, inline when the pool is serial and on the resident workers
-// otherwise.
-func (p *workerPool) runRanges(n int, run func(lo, hi int)) {
+// each. A chunk is handed off only when a worker is parked ready to take it
+// (non-blocking send); otherwise the caller runs the chunk inline. Under a
+// shared pool this is what makes concurrent solves safe: a sweep never
+// waits on workers occupied by other solves — it degrades to inline
+// execution on its own goroutine instead of queueing behind them.
+func (p *Pool) runRanges(n int, run func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -112,7 +134,12 @@ func (p *workerPool) runRanges(n int, run func(lo, hi int)) {
 			hi = n
 		}
 		wg.Add(1)
-		p.tasks <- poolTask{lo: lo, hi: hi, run: run, wg: &wg}
+		select {
+		case p.tasks <- poolTask{lo: lo, hi: hi, run: run, wg: &wg}:
+		default:
+			run(lo, hi)
+			wg.Done()
+		}
 	}
 	run(0, chunk)
 	wg.Wait()

@@ -60,6 +60,7 @@ func SolveSequenced(ctx context.Context, g *grid.Grid2D, o Options, maxSteps int
 	if err != nil {
 		return nil, 0, err
 	}
+	coarse.phase = "coarse"
 	defer coarse.Close()
 	if _, err := coarse.RunCtx(ctx, sq.CoarseMaxSteps, sq.CoarseDropTol); err != nil {
 		return nil, 0, err
@@ -76,6 +77,7 @@ func SolveSequenced(ctx context.Context, g *grid.Grid2D, o Options, maxSteps int
 	if err != nil {
 		return nil, 0, err
 	}
+	fine.phase = "fine"
 	// Calibrate the absolute target: one freestream-started step gives the
 	// same initial residual scale RunCtx would have latched onto, then the
 	// injected coarse state replaces the stepped one.

@@ -110,7 +110,7 @@ func TestSolveSequencedFallback(t *testing.T) {
 
 func TestWorkerPoolRunSum(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 7} {
-		p := newWorkerPool(workers)
+		p := NewPool(workers)
 		for _, n := range []int{0, 1, 2, 5, 17, 100} {
 			got := p.runSum(n, func(i int) float64 { return float64(i) })
 			want := float64(n*(n-1)) / 2
@@ -125,6 +125,6 @@ func TestWorkerPoolRunSum(t *testing.T) {
 				}
 			}
 		}
-		p.close()
+		p.Close()
 	}
 }

@@ -302,6 +302,9 @@ func (s *Solver) RunCtx(ctx context.Context, maxSteps int, dropTol float64) (flo
 			}
 		}
 		res = s.Step()
+		if s.Opts.Progress != nil {
+			s.Opts.Progress(s.phase, n+1, maxSteps, res)
+		}
 		if math.IsNaN(res) {
 			return res, fmt.Errorf("fvm: residual NaN at step %d", n)
 		}
@@ -333,6 +336,9 @@ func (s *Solver) RunToCtx(ctx context.Context, maxSteps int, target float64) (fl
 			}
 		}
 		res = s.Step()
+		if s.Opts.Progress != nil {
+			s.Opts.Progress(s.phase, n+1, maxSteps, res)
+		}
 		if math.IsNaN(res) {
 			return res, fmt.Errorf("fvm: residual NaN at step %d", n)
 		}

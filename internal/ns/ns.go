@@ -38,6 +38,12 @@ type Case struct {
 	// coarsened grid first, then finish on the fine grid from the
 	// interpolated coarse state (see fvm.SolveSequenced).
 	Sequence *fvm.SequenceOptions
+	// Pool, when non-nil, is a shared worker pool for the finite-volume
+	// sweeps (see fvm.Options.Pool); nil gives the solve a private pool.
+	Pool *fvm.Pool
+	// Progress, when non-nil, observes every time step (see
+	// fvm.ProgressFunc).
+	Progress fvm.ProgressFunc
 }
 
 // Result carries the converged field and surface data.
@@ -95,6 +101,8 @@ func Solve(ctx context.Context, c Case) (*Result, error) {
 		CFL:          c.CFL,
 		MUSCL:        true,
 		Flux:         c.Flux,
+		Pool:         c.Pool,
+		Progress:     c.Progress,
 	}
 	const dropTol = 5e-4
 	var s *fvm.Solver

@@ -29,6 +29,10 @@ type Options struct {
 	Pr      float64 // Prandtl number (default 0.71)
 	MaxIter int     // per-station relaxation sweeps (default 80)
 	Tol     float64 // convergence tolerance (default 1e-7)
+	// Progress, when non-nil, is invoked after each converged marching
+	// station with (station, total). It runs on the marching goroutine and
+	// must be cheap.
+	Progress func(station, total int)
 }
 
 // StationResult is the converged solution at one marching station.
@@ -223,6 +227,9 @@ func March(ctx context.Context, edges []blayer.EdgeState, props Props, hw, h0 fl
 	if err := solveStation(0, 0, 0, 0.5, edges[0]); err != nil {
 		return nil, err
 	}
+	if opts.Progress != nil {
+		opts.Progress(1, len(edges))
+	}
 	copy(Fp, F)
 	copy(gp, g)
 	copy(fp, f)
@@ -248,6 +255,9 @@ func March(ctx context.Context, edges []blayer.EdgeState, props Props, hw, h0 fl
 		beta = numerics.Clamp(beta, -2, 2)
 		if err := solveStation(k, xi, dXi, beta, b); err != nil {
 			return nil, err
+		}
+		if opts.Progress != nil {
+			opts.Progress(k+1, len(edges))
 		}
 		copy(Fp, F)
 		copy(gp, g)

@@ -35,6 +35,10 @@ type Inputs struct {
 	Rn    float64 // nose radius
 	TWall float64
 	NPts  int // stagnation-line output points (default 60)
+	// Progress, when non-nil, is invoked after each converged stagnation-
+	// line profile point with (point, total). It runs on the solving
+	// goroutine and must be cheap.
+	Progress func(point, total int)
 }
 
 // Result is the converged stagnation-line solution.
@@ -114,6 +118,9 @@ func Solve(ctx context.Context, in Inputs) (*Result, error) {
 		}
 		res.T[i] = T
 		res.Species[i] = yc
+		if in.Progress != nil {
+			in.Progress(i+1, in.NPts)
+		}
 	}
 
 	// Radiative transport across the layer.

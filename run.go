@@ -1,0 +1,219 @@
+package cataero
+
+import (
+	"sync"
+	"time"
+
+	"cataero/internal/core"
+)
+
+// RunState is the lifecycle state of a submitted run.
+type RunState int
+
+const (
+	// RunQueued: submitted, waiting for a session solve slot.
+	RunQueued RunState = iota
+	// RunRunning: a slot is held and the solver is iterating.
+	RunRunning
+	// RunDone: finished — successfully, with an error, or canceled.
+	RunDone
+)
+
+func (s RunState) String() string {
+	switch s {
+	case RunQueued:
+		return "queued"
+	case RunRunning:
+		return "running"
+	case RunDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Snapshot is one consistent observation of a run's progress: the solver
+// class and registry name, the schedule phase (e.g. the "coarse" vs "fine"
+// grid-sequencing stage), the step count and latest residual, and the
+// elapsed wall-clock time since submission. Snapshots are values — reading
+// one never blocks the solve.
+type Snapshot struct {
+	State RunState
+	// Class is the problem's solver class. Shock-shape runs (SubmitShock)
+	// do not dispatch on Class; identify them by Solver ("euler") instead.
+	Class    SolverClass
+	Solver   string // registry name of the executing solver ("ns", "vsl", "euler", ...)
+	Phase    string // schedule phase ("solve", "coarse", "fine", "march", "profile")
+	Step     int    // completed iterations within the phase
+	MaxSteps int    // the phase's iteration budget (0 when unknown)
+	Residual float64
+	Elapsed  time.Duration // since submission; frozen at completion
+	Err      error         // terminal error; non-nil only when State == RunDone
+}
+
+// runHandle is the observable core shared by Run and ShockRun: the live
+// snapshot, watcher channels, cancellation and completion signalling.
+type runHandle struct {
+	cancel func()
+	done   chan struct{}
+	start  time.Time
+
+	mu       sync.Mutex
+	snap     Snapshot
+	final    time.Duration // elapsed frozen when the run finishes
+	watchers []chan Snapshot
+	err      error
+}
+
+func (h *runHandle) init(cancel func(), p Problem) {
+	h.cancel = cancel
+	h.done = make(chan struct{})
+	h.start = time.Now()
+	h.snap = Snapshot{State: RunQueued, Class: p.Class, MaxSteps: p.MaxSteps}
+}
+
+// Cancel aborts the run: a queued run finishes without ever solving, a
+// running one stops at its next cancellation poll. Wait returns promptly
+// with the context error. Cancel is safe to call at any time, repeatedly.
+func (h *runHandle) Cancel() { h.cancel() }
+
+// Done is closed when the run finishes (in any way), so runs compose with
+// select loops.
+func (h *runHandle) Done() <-chan struct{} { return h.done }
+
+// Snapshot returns the run's current progress.
+func (h *runHandle) Snapshot() Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.snapLocked()
+}
+
+func (h *runHandle) snapLocked() Snapshot {
+	s := h.snap
+	if s.State == RunDone {
+		s.Elapsed = h.final
+	} else {
+		s.Elapsed = time.Since(h.start)
+	}
+	return s
+}
+
+// Watch returns a channel of progress snapshots. The channel always carries
+// the latest snapshot — slow receivers see stale intermediate updates
+// replaced, never a backlog — and is closed after the terminal snapshot
+// when the run finishes. A Watch on a finished run yields exactly the
+// terminal snapshot.
+func (h *runHandle) Watch() <-chan Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch := make(chan Snapshot, 1)
+	if h.snap.State == RunDone {
+		ch <- h.snapLocked()
+		close(ch)
+		return ch
+	}
+	h.watchers = append(h.watchers, ch)
+	return ch
+}
+
+// observe folds one solver progress report into the snapshot. It runs on
+// the solving goroutine via the run's Monitor.
+func (h *runHandle) observe(p core.Progress) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.snap.State = RunRunning
+	h.snap.Class = p.Class
+	h.snap.Solver = p.Solver
+	h.snap.Phase = p.Phase
+	h.snap.Step = p.Step
+	if p.MaxSteps > 0 {
+		h.snap.MaxSteps = p.MaxSteps
+	}
+	h.snap.Residual = p.Residual
+	h.notifyLocked()
+}
+
+// running marks the transition out of the queue (a slot was acquired).
+func (h *runHandle) running() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.snap.State = RunRunning
+	h.notifyLocked()
+}
+
+// finish records the terminal state, emits the final snapshot, closes the
+// watcher channels and unblocks Wait. The caller must have stored the
+// result payload before calling finish.
+func (h *runHandle) finish(err error) {
+	h.mu.Lock()
+	h.err = err
+	h.snap.State = RunDone
+	h.snap.Err = err
+	h.final = time.Since(h.start)
+	h.notifyLocked()
+	for _, ch := range h.watchers {
+		close(ch)
+	}
+	h.watchers = nil
+	h.mu.Unlock()
+	close(h.done)
+}
+
+// notifyLocked pushes the current snapshot to every watcher with
+// latest-value semantics: a full buffer is drained and replaced, so
+// watchers never block the solve and never read a stale terminal state.
+func (h *runHandle) notifyLocked() {
+	if len(h.watchers) == 0 {
+		return
+	}
+	s := h.snapLocked()
+	for _, ch := range h.watchers {
+		select {
+		case ch <- s:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- s:
+			default:
+			}
+		}
+	}
+}
+
+// Run is the handle of an asynchronously submitted solve (Session.Submit):
+// a live, watchable view of the solver's progress plus the eventual result.
+type Run struct {
+	runHandle
+	problem Problem
+	env     *Environment
+}
+
+// Problem returns the problem as submitted, with session defaults applied.
+func (r *Run) Problem() Problem { return r.problem }
+
+// Wait blocks until the run finishes and returns its result. Wait is safe
+// to call from any number of goroutines, repeatedly; after Cancel it
+// returns promptly with the context's error.
+func (r *Run) Wait() (*Environment, error) {
+	<-r.done
+	return r.env, r.err
+}
+
+// ShockRun is the handle of an asynchronously submitted Euler bow-shock
+// solve (Session.SubmitShock).
+type ShockRun struct {
+	runHandle
+	problem Problem
+	env     *ShockEnvelope
+}
+
+// Problem returns the problem as submitted, with session defaults applied.
+func (r *ShockRun) Problem() Problem { return r.problem }
+
+// Wait blocks until the run finishes and returns its envelope.
+func (r *ShockRun) Wait() (*ShockEnvelope, error) {
+	<-r.done
+	return r.env, r.err
+}

@@ -11,9 +11,15 @@ import (
 // Session is the primary entry point of the toolkit: a reusable, configured
 // pipeline over the paper's solver hierarchy. A session owns a shared model
 // stack — per-chemistry thermo/chemistry/transport models and a keyed cache
-// of tabulated equilibrium EOS tables, all built lazily on first use — so
-// repeated solves and parameter sweeps stop paying model-construction cost.
-// Sessions are safe for concurrent use.
+// of tabulated equilibrium EOS tables, all built lazily on first use — plus
+// one shared worker pool serving every solve (see pool.go), so repeated
+// solves and parameter sweeps stop paying model-construction cost and
+// concurrent sweeps stop oversubscribing the CPUs. Sessions are safe for
+// concurrent use.
+//
+// Solves run through Run handles: Submit returns immediately with a live,
+// watchable view of the solver's progress, and Solve/SolveBatch are thin
+// blocking wrappers over submitted runs.
 type Session struct {
 	stack   *core.Stack
 	chem    GasChemistry
@@ -22,6 +28,11 @@ type Session struct {
 	gamma   float64
 	flux    string
 	gridSeq bool
+	// Solve admission (see pool.go): at most `workers` submitted runs
+	// execute concurrently; the rest wait FIFO in admitQueue.
+	admitMu    sync.Mutex
+	admitFree  int
+	admitQueue []ticket
 }
 
 // Option configures a Session at construction.
@@ -40,7 +51,10 @@ func WithQuality(q Quality) Option {
 	return func(s *Session) { s.quality = q }
 }
 
-// WithWorkers bounds the SolveBatch worker pool (default GOMAXPROCS).
+// WithWorkers bounds how many submitted runs solve concurrently — the
+// session's admission width, shared by Submit, SolveBatch and
+// ShockShapeBatch (default GOMAXPROCS). Runs beyond the bound queue in
+// submission order.
 func WithWorkers(n int) Option {
 	return func(s *Session) {
 		if n > 0 {
@@ -87,6 +101,7 @@ func NewSession(opts ...Option) *Session {
 	for _, o := range opts {
 		o(s)
 	}
+	s.admitFree = s.workers
 	return s
 }
 
@@ -101,8 +116,11 @@ func (s *Session) apply(p Problem) Problem {
 	if p.Flux == "" && s.flux != "" {
 		p.Flux = s.flux
 	}
-	if s.gridSeq {
-		p.GridSequencing = true
+	// Grid sequencing is tri-state: the session default fills only an unset
+	// toggle, so a case can force sequencing off on a session that enables
+	// it (and vice versa).
+	if s.gridSeq && p.GridSequencing == ToggleDefault {
+		p.GridSequencing = ToggleOn
 	}
 	if s.quality >= 2 {
 		if p.NStations == 0 {
@@ -121,17 +139,79 @@ func (s *Session) apply(p Problem) Problem {
 	return p
 }
 
+// Submit starts one problem asynchronously and returns its Run handle
+// immediately. The run waits for a session solve slot (WithWorkers),
+// executes against the cached model stack, and exposes live progress via
+// Run.Snapshot and Run.Watch: solver class, schedule phase (e.g. the coarse
+// vs fine grid-sequencing stage), step count, latest residual and elapsed
+// time. Cancel the run with Run.Cancel or by canceling ctx; collect the
+// result with Run.Wait.
+func (s *Session) Submit(ctx context.Context, p Problem) *Run {
+	p = s.apply(p)
+	r := &Run{problem: p}
+	s.start(ctx, p, &r.runHandle, func(ctx context.Context, p Problem) error {
+		env, err := core.SolveWith(ctx, s.stack, p)
+		r.env = env
+		return err
+	})
+	return r
+}
+
+// SubmitShock starts an Euler bow-shock solve asynchronously; the ShockRun
+// handle has the same progress, cancellation and wait semantics as Submit's.
+func (s *Session) SubmitShock(ctx context.Context, p Problem) *ShockRun {
+	p = s.apply(p)
+	r := &ShockRun{problem: p}
+	s.start(ctx, p, &r.runHandle, func(ctx context.Context, p Problem) error {
+		env, err := core.ShockShapeWith(ctx, s.stack, p)
+		r.env = env
+		return err
+	})
+	return r
+}
+
+// start wires a run handle to the session: it installs the handle as the
+// problem's progress monitor (forwarding to any monitor the problem already
+// carries), then launches the solve goroutine, which queues on the
+// admission slots before executing. The solve closure stores its result
+// payload before the handle finishes, so Wait observes it safely.
+func (s *Session) start(ctx context.Context, p Problem, h *runHandle, solve func(context.Context, Problem) error) {
+	ctx, cancel := context.WithCancel(ctx)
+	h.init(cancel, p)
+	user := p.Monitor
+	p.Monitor = core.MonitorFunc(func(pr core.Progress) {
+		h.observe(pr)
+		if user != nil {
+			user.OnProgress(pr)
+		}
+	})
+	// The queue position is taken here, synchronously, so runs start in
+	// submission order.
+	t := s.enqueue()
+	go func() {
+		defer cancel()
+		if err := s.await(ctx, t); err != nil {
+			h.finish(err)
+			return
+		}
+		defer s.release()
+		h.running()
+		h.finish(solve(ctx, p))
+	}()
+}
+
 // Solve dispatches one problem through the solver registry against the
-// session's cached model stack. The context is threaded into the solver
-// iteration loops; cancellation aborts with ctx.Err().
+// session's cached model stack and blocks for the result — Submit + Wait.
+// The context is threaded into the solver iteration loops; cancellation
+// aborts with ctx.Err().
 func (s *Session) Solve(ctx context.Context, p Problem) (*Environment, error) {
-	return core.SolveWith(ctx, s.stack, s.apply(p))
+	return s.Submit(ctx, p).Wait()
 }
 
 // ShockShape computes an Euler bow-shock envelope (ideal or equilibrium
-// air) against the session's cached model stack.
+// air) against the session's cached model stack — SubmitShock + Wait.
 func (s *Session) ShockShape(ctx context.Context, p Problem) (*ShockEnvelope, error) {
-	return core.ShockShapeWith(ctx, s.stack, s.apply(p))
+	return s.SubmitShock(ctx, p).Wait()
 }
 
 // Result is one SolveBatch outcome: the problem it came from, and either an
@@ -151,59 +231,47 @@ type ShockResult struct {
 	Err     error
 }
 
-// SolveBatch runs the problems concurrently on a bounded worker pool (see
-// WithWorkers) over the shared model stack — the sweep primitive behind the
-// figure runners and catsim. Every problem is attempted and failures are
-// reported per-problem in Result.Err, so one bad case does not abort a
-// sweep; the returned error is non-nil only when the context is canceled,
-// in which case unfinished problems carry ctx.Err().
+// SolveBatch submits every problem and waits for all of them — a thin
+// wrapper over Submit, so sweeps get per-problem progress for free via
+// SubmitAll. Concurrency is bounded by the session's admission slots (see
+// WithWorkers). Every problem is attempted and failures are reported
+// per-problem in Result.Err, so one bad case does not abort a sweep; the
+// returned error is non-nil only when the context is canceled, in which
+// case unfinished problems carry ctx.Err() and finished ones keep their
+// results.
 func (s *Session) SolveBatch(ctx context.Context, problems []Problem) ([]Result, error) {
+	runs := s.SubmitAll(ctx, problems)
 	out := make([]Result, len(problems))
-	s.runPool(ctx, len(problems), func(i int) {
-		env, err := s.Solve(ctx, problems[i])
+	for i, r := range runs {
+		env, err := r.Wait()
 		out[i] = Result{Index: i, Problem: problems[i], Env: env, Err: err}
-	})
+	}
 	return out, ctx.Err()
 }
 
-// ShockShapeBatch runs Euler bow-shock solves concurrently on the bounded
-// worker pool, with the same partial-failure semantics as SolveBatch.
+// SubmitAll submits every problem and returns the live run handles without
+// waiting — the observable form of SolveBatch.
+func (s *Session) SubmitAll(ctx context.Context, problems []Problem) []*Run {
+	runs := make([]*Run, len(problems))
+	for i, p := range problems {
+		runs[i] = s.Submit(ctx, p)
+	}
+	return runs
+}
+
+// ShockShapeBatch runs Euler bow-shock solves as submitted runs, with the
+// same admission bound and partial-failure semantics as SolveBatch.
 func (s *Session) ShockShapeBatch(ctx context.Context, problems []Problem) ([]ShockResult, error) {
+	runs := make([]*ShockRun, len(problems))
+	for i, p := range problems {
+		runs[i] = s.SubmitShock(ctx, p)
+	}
 	out := make([]ShockResult, len(problems))
-	s.runPool(ctx, len(problems), func(i int) {
-		env, err := s.ShockShape(ctx, problems[i])
+	for i, r := range runs {
+		env, err := r.Wait()
 		out[i] = ShockResult{Index: i, Problem: problems[i], Env: env, Err: err}
-	})
+	}
 	return out, ctx.Err()
-}
-
-// runPool fans n indexed jobs out over the bounded worker pool. Jobs are
-// responsible for observing ctx themselves (the solvers poll it), so a
-// canceled batch drains quickly instead of deadlocking.
-func (s *Session) runPool(ctx context.Context, n int, job func(i int)) {
-	workers := s.workers
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	idx := make(chan int, n)
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				job(i)
-			}
-		}()
-	}
-	wg.Wait()
 }
 
 var (

@@ -217,7 +217,7 @@ func TestSessionShockShape(t *testing.T) {
 func TestSessionFluxAndSequencingOptions(t *testing.T) {
 	s := NewSession(WithFlux("hllc"), WithGridSequencing(true))
 	p := s.apply(smallNSProblem())
-	if p.Flux != "hllc" || !p.GridSequencing {
+	if p.Flux != "hllc" || p.GridSequencing != ToggleOn {
 		t.Fatalf("options not stamped: flux=%q seq=%v", p.Flux, p.GridSequencing)
 	}
 	// A problem-level kernel wins over the session default.
