@@ -114,6 +114,19 @@ type Progress = core.Progress
 // services and CLIs that validate or enumerate kernels up front.
 func FluxKernels() []string { return fvm.FluxKernels() }
 
+// TimeSteppings returns the names of the registered finite-volume time
+// integrators, ascending — the valid values of Problem.TimeStepping and
+// WithTimeStepping ("explicit", "implicit" out of the box).
+func TimeSteppings() []string { return fvm.Integrators() }
+
+// CFLRamp tunes the implicit integrator's CFL schedule (see
+// Problem.CFLRamp): start low while the transient establishes the shock,
+// grow geometrically while the residual keeps falling, cap at Max.
+// Zero-valued fields take the solver defaults (start 2, growth 1.25/step,
+// max 200); a Growth below 1 is floored at 1 (hold constant) and a Max
+// below Start is floored at Start.
+type CFLRamp = fvm.CFLRamp
+
 // Solve dispatches a problem to its solver class and returns the
 // aerothermal environment.
 //

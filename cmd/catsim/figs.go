@@ -21,6 +21,7 @@ func figsCmd(args []string) int {
 	quality := fs.Int("q", 1, "grid quality (1 = default, 2 = finer)")
 	workers := fs.Int("workers", 0, "concurrent solve bound (0 = GOMAXPROCS)")
 	fluxName := fs.String("flux", "", "finite-volume flux kernel (see 'catsim kernels'; empty = solver default)")
+	timestep := fs.String("timestep", "", "finite-volume time integrator (explicit, implicit; empty = solver default)")
 	gridSeq := fs.Bool("gridseq", false, "grid-sequence the NS and shock-shape solves (coarse first, then fine)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	fs.Parse(args)
@@ -28,7 +29,7 @@ func figsCmd(args []string) int {
 		fmt.Fprintf(os.Stderr, "catsim figs: unexpected argument %q\n", fs.Arg(0))
 		return 2
 	}
-	if !checkFlux(*fluxName) {
+	if !checkFlux(*fluxName) || !checkTimeStepping(*timestep) {
 		return 2
 	}
 
@@ -51,19 +52,22 @@ func figsCmd(args []string) int {
 			f.Close()
 		}
 	}
-	code := runFigs(*fig, *quality, *workers, *fluxName, *gridSeq)
+	code := runFigs(*fig, *quality, *workers, *fluxName, *timestep, *gridSeq)
 	stopProfile()
 	return code
 }
 
 // runFigs executes the requested figures and returns the process exit code.
-func runFigs(fig string, quality, workers int, fluxName string, gridSeq bool) int {
+func runFigs(fig string, quality, workers int, fluxName, timestep string, gridSeq bool) int {
 	opts := []cataero.Option{cataero.WithQuality(cataero.Quality(quality))}
 	if workers > 0 {
 		opts = append(opts, cataero.WithWorkers(workers))
 	}
 	if fluxName != "" {
 		opts = append(opts, cataero.WithFlux(fluxName))
+	}
+	if timestep != "" {
+		opts = append(opts, cataero.WithTimeStepping(timestep))
 	}
 	if gridSeq {
 		opts = append(opts, cataero.WithGridSequencing(true))

@@ -58,24 +58,34 @@ run 'catsim <command> -h' for the command's flags.
 `)
 }
 
-// checkFlux fails fast on an unknown flux kernel name, printing the
-// registered list, so a bad -flux aborts before any solve starts instead of
-// surfacing mid-batch at solve time. Returns false when the name is bad.
-func checkFlux(name string) bool {
+// checkRegistered fails fast on a name missing from a registry list,
+// printing what is registered, so a bad flag aborts before any solve starts
+// instead of surfacing mid-batch at solve time. The empty name (defer to
+// the default) always passes. Returns false when the name is bad.
+func checkRegistered(kind, name string, registered []string) bool {
 	if name == "" {
 		return true
 	}
-	kernels := cataero.FluxKernels()
-	for _, k := range kernels {
-		if k == name {
+	for _, r := range registered {
+		if r == name {
 			return true
 		}
 	}
-	fmt.Fprintf(os.Stderr, "catsim: unknown flux kernel %q; registered kernels:\n", name)
-	for _, k := range kernels {
-		fmt.Fprintf(os.Stderr, "  %s\n", k)
+	fmt.Fprintf(os.Stderr, "catsim: unknown %s %q; registered:\n", kind, name)
+	for _, r := range registered {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
 	}
 	return false
+}
+
+// checkFlux validates a flux-kernel name against the registry.
+func checkFlux(name string) bool {
+	return checkRegistered("flux kernel", name, cataero.FluxKernels())
+}
+
+// checkTimeStepping validates a time-integrator name against the registry.
+func checkTimeStepping(name string) bool {
+	return checkRegistered("time stepping", name, cataero.TimeSteppings())
 }
 
 func kernelsCmd(args []string) int {

@@ -4,14 +4,47 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"cataero"
 )
 
 func TestRunFigsUnknownFigure(t *testing.T) {
-	if code := runFigs("42", 1, 0, "", false); code != 2 {
+	if code := runFigs("42", 1, 0, "", "", false); code != 2 {
 		t.Errorf("unknown figure exit code %d, want 2", code)
 	}
-	if code := runFigs("", 1, 0, "", false); code != 2 {
+	if code := runFigs("", 1, 0, "", "", false); code != 2 {
 		t.Errorf("empty figure list exit code %d, want 2", code)
+	}
+}
+
+func TestTrendArrow(t *testing.T) {
+	mk := func(rs ...float64) []cataero.HistoryPoint {
+		out := make([]cataero.HistoryPoint, len(rs))
+		for i, r := range rs {
+			out[i] = cataero.HistoryPoint{Step: i + 1, Residual: r}
+		}
+		return out
+	}
+	if got := trendArrow(nil); got != "→" {
+		t.Errorf("empty history arrow %q", got)
+	}
+	if got := trendArrow(mk(100, 50, 10)); got != "↓" {
+		t.Errorf("falling residual arrow %q", got)
+	}
+	if got := trendArrow(mk(10, 50, 100)); got != "↑" {
+		t.Errorf("rising residual arrow %q", got)
+	}
+	if got := trendArrow(mk(10, 11, 10.5)); got != "→" {
+		t.Errorf("flat residual arrow %q", got)
+	}
+}
+
+func TestCheckTimeSteppingFailsFast(t *testing.T) {
+	if checkTimeStepping("dual-time-o-matic") {
+		t.Error("unknown integrator accepted")
+	}
+	if !checkTimeStepping("") || !checkTimeStepping("implicit") || !checkTimeStepping("explicit") {
+		t.Error("valid integrator names rejected")
 	}
 }
 

@@ -19,6 +19,7 @@ func runCmd(args []string) int {
 	fs := flag.NewFlagSet("catsim run", flag.ExitOnError)
 	progress := fs.Bool("progress", false, "print a live solver progress/residual ticker")
 	fluxName := fs.String("flux", "", "override the case's flux kernel (see 'catsim kernels')")
+	timestep := fs.String("timestep", "", "override the case's time integrator (explicit, implicit)")
 	workers := fs.Int("workers", 0, "concurrent solve bound (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 	fs.Usage = func() {
@@ -40,7 +41,7 @@ func runCmd(args []string) int {
 			return 2
 		}
 	}
-	if !checkFlux(*fluxName) {
+	if !checkFlux(*fluxName) || !checkTimeStepping(*timestep) {
 		return 2
 	}
 
@@ -52,9 +53,12 @@ func runCmd(args []string) int {
 	if *fluxName != "" {
 		p.Flux = *fluxName
 	}
-	// The case file's own flux field fails fast too — before the session
-	// builds models or any solve starts.
-	if !checkFlux(p.Flux) {
+	if *timestep != "" {
+		p.TimeStepping = *timestep
+	}
+	// The case file's own flux and integrator fields fail fast too — before
+	// the session builds models or any solve starts.
+	if !checkFlux(p.Flux) || !checkTimeStepping(p.TimeStepping) {
 		return 2
 	}
 
@@ -92,7 +96,8 @@ func runCmd(args []string) int {
 
 // followRun prints a live progress line whenever the run advances, until it
 // finishes. Lines print at most every 250 ms so long solves stay readable
-// in logs.
+// in logs. The residual carries a trend arrow computed from the snapshot's
+// retained convergence history.
 func followRun(run *cataero.Run) {
 	tick := time.NewTicker(250 * time.Millisecond)
 	defer tick.Stop()
@@ -112,11 +117,28 @@ func followRun(run *cataero.Run) {
 				line += fmt.Sprintf("/%d", snap.MaxSteps)
 			}
 			if snap.Residual > 0 {
-				line += fmt.Sprintf("  residual %.3e", snap.Residual)
+				line += fmt.Sprintf("  residual %.3e %s", snap.Residual, trendArrow(snap.History()))
 			}
 			fmt.Printf("%s  elapsed %s\n", line, snap.Elapsed.Round(time.Millisecond))
 		}
 	}
+}
+
+// trendArrow summarizes a convergence history window: ↓ when the residual
+// fell across the window, ↑ when it rose, → when it is holding level (or
+// the window is too short to tell).
+func trendArrow(hist []cataero.HistoryPoint) string {
+	if len(hist) < 2 {
+		return "→"
+	}
+	first, last := hist[0].Residual, hist[len(hist)-1].Residual
+	switch {
+	case last < 0.7*first:
+		return "↓"
+	case last > 1.3*first:
+		return "↑"
+	}
+	return "→"
 }
 
 // printEnvironment reports the solved aerothermal environment.

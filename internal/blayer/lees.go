@@ -27,6 +27,14 @@ type EdgeState struct {
 // isentropic expansion from the equilibrium stagnation state (the normal-
 // shock entropy layer assumption of the era's E+BL codes).
 func EdgeDistribution(eq *chem.EquilibriumSolver, tr *transport.Mixture, y0 []float64, fs FreeStream, body geometry.Body, ns int) ([]EdgeState, error) {
+	return EdgeDistributionProgress(eq, tr, y0, fs, body, ns, nil)
+}
+
+// EdgeDistributionProgress is EdgeDistribution with a per-station progress
+// callback: progress(station, total) runs after each station's equilibrium
+// expansion (the expensive part of an E+BL solve), so run handles can show
+// station-level progress. A nil progress is ignored.
+func EdgeDistributionProgress(eq *chem.EquilibriumSolver, tr *transport.Mixture, y0 []float64, fs FreeStream, body geometry.Body, ns int, progress func(station, total int)) ([]EdgeState, error) {
 	m := eq.Mix
 	stag, err := shock.StagnationEquilibrium(eq, y0, fs.P, fs.T, fs.V)
 	if err != nil {
@@ -69,6 +77,9 @@ func EdgeDistribution(eq *chem.EquilibriumSolver, tr *transport.Mixture, y0 []fl
 		out[i] = EdgeState{
 			S: s, P: pe, T: Te, Rho: rhoe, H: he,
 			Ue: math.Sqrt(ue2), Mu: tr.Viscosity(Te, ye), R: r, Y: ye,
+		}
+		if progress != nil {
+			progress(i+1, ns)
 		}
 	}
 	return out, nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"cataero/internal/fvm"
 	"cataero/internal/geometry"
 )
 
@@ -39,8 +40,23 @@ type CaseSpec struct {
 	MaxSteps  int `json:"max_steps,omitempty"`
 
 	Flux string `json:"flux,omitempty"`
+	// TimeStepping is the finite-volume time integrator name ("explicit",
+	// "implicit"); empty defers to the session or solver default.
+	TimeStepping string `json:"time_stepping,omitempty"`
+	// CFLRamp tunes the implicit integrator's CFL schedule; omitted fields
+	// take the solver defaults.
+	CFLRamp *CFLRampSpec `json:"cfl_ramp,omitempty"`
 	// GridSequencing is "" (session default), "on" or "off".
 	GridSequencing string `json:"grid_sequencing,omitempty"`
+}
+
+// CFLRampSpec is the case-file form of the implicit integrator's CFL
+// schedule (fvm.CFLRamp): initial CFL, geometric per-step growth factor and
+// cap. Zero-valued fields take the solver defaults.
+type CFLRampSpec struct {
+	Start  float64 `json:"start,omitempty"`
+	Growth float64 `json:"growth,omitempty"`
+	Max    float64 `json:"max,omitempty"`
 }
 
 // BodySpec names a body shape declaratively: a kind from the geometry
@@ -173,6 +189,10 @@ func SpecOf(p Problem) (CaseSpec, error) {
 			return CaseSpec{}, fmt.Errorf("core: chemistry %d has no case-file name", p.Chemistry)
 		}
 	}
+	var ramp *CFLRampSpec
+	if p.CFLRamp != (fvm.CFLRamp{}) {
+		ramp = &CFLRampSpec{Start: p.CFLRamp.Start, Growth: p.CFLRamp.Growth, Max: p.CFLRamp.Max}
+	}
 	return CaseSpec{
 		Name:      p.Name,
 		Class:     class,
@@ -184,6 +204,8 @@ func SpecOf(p Problem) (CaseSpec, error) {
 		Radiation: p.Radiation,
 		NStations: p.NStations, NI: p.NI, NJ: p.NJ, MaxSteps: p.MaxSteps,
 		Flux:           p.Flux,
+		TimeStepping:   p.TimeStepping,
+		CFLRamp:        ramp,
 		GridSequencing: toggleName(p.GridSequencing),
 	}, nil
 }
@@ -214,7 +236,11 @@ func (c CaseSpec) Problem() (Problem, error) {
 		Radiation: c.Radiation,
 		NStations: c.NStations, NI: c.NI, NJ: c.NJ, MaxSteps: c.MaxSteps,
 		Flux:           c.Flux,
+		TimeStepping:   c.TimeStepping,
 		GridSequencing: seq,
+	}
+	if c.CFLRamp != nil {
+		p.CFLRamp = fvm.CFLRamp{Start: c.CFLRamp.Start, Growth: c.CFLRamp.Growth, Max: c.CFLRamp.Max}
 	}
 	if c.Body != nil {
 		if p.Body, err = c.Body.Body(); err != nil {

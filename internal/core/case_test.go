@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"cataero/internal/fvm"
 	"cataero/internal/geometry"
 )
 
@@ -23,7 +24,9 @@ func TestProblemJSONRoundTrip(t *testing.T) {
 			PInf: 5474.9, TInf: 216.65, VInf: 1770,
 			Body: geometry.NewSphere(0.3), NoseRadius: 0.3,
 			TWall: 600, NI: 8, NJ: 14, MaxSteps: 120,
-			Flux: "hllc", GridSequencing: ToggleOff,
+			Flux: "hllc", TimeStepping: "implicit",
+			CFLRamp:        fvm.CFLRamp{Start: 5, Growth: 1.1, Max: 40},
+			GridSequencing: ToggleOff,
 		},
 		{
 			Class: PNS, Chemistry: EquilibriumTitan,

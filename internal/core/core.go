@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 
+	"cataero/internal/fvm"
 	"cataero/internal/geometry"
 )
 
@@ -155,6 +156,18 @@ type Problem struct {
 	// NS and Euler shock-shape classes ("hlle", "hllc", "ausm+"; empty =
 	// solver default).
 	Flux string
+
+	// TimeStepping selects the finite-volume time integrator by name for
+	// the NS and Euler shock-shape classes ("explicit", "implicit"; empty =
+	// session or solver default). Implicit (line-implicit, DPLR-style)
+	// stepping removes the wall-normal CFL restriction and converges
+	// clustered viscous grids in several-fold fewer steps.
+	TimeStepping string
+
+	// CFLRamp tunes the implicit integrator's CFL schedule; zero-valued
+	// fields take the fvm.DefaultCFLRamp defaults. Ignored by the explicit
+	// integrator.
+	CFLRamp fvm.CFLRamp
 
 	// GridSequencing controls grid-sequenced NS and Euler shock-shape
 	// solves (converge on a coarsened grid, then finish on the fine grid

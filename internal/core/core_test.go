@@ -61,6 +61,33 @@ func TestDispatchEBL(t *testing.T) {
 	}
 }
 
+// The EBL class reports station-level progress through the problem Monitor,
+// like the marching classes do, so Run snapshots are uniform across solver
+// classes.
+func TestEBLStationProgress(t *testing.T) {
+	p := entryProblem(EBL)
+	var stations []int
+	total := 0
+	p.Monitor = MonitorFunc(func(pr Progress) {
+		if pr.Solver != "ebl" || pr.Phase != "stations" {
+			t.Errorf("unexpected solver/phase %q/%q", pr.Solver, pr.Phase)
+		}
+		stations = append(stations, pr.Step)
+		total = pr.MaxSteps
+	})
+	if _, err := Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(stations) != p.NStations || total != p.NStations {
+		t.Fatalf("saw %d station reports (total %d), want %d", len(stations), total, p.NStations)
+	}
+	for i, s := range stations {
+		if s != i+1 {
+			t.Fatalf("station %d reported as %d", i+1, s)
+		}
+	}
+}
+
 func TestDispatchPNS(t *testing.T) {
 	env, err := Solve(entryProblem(PNS))
 	if err != nil {

@@ -16,7 +16,7 @@ type Progress struct {
 	// Phase names the stage of the solver's schedule: "solve" for a plain
 	// finite-volume march, "coarse"/"fine" for the grid-sequencing stages,
 	// "march" for the PNS station march, "profile" for the VSL
-	// stagnation-line profile.
+	// stagnation-line profile, "stations" for the EBL edge distribution.
 	Phase string
 	// Step counts completed iterations within the phase: time steps for
 	// the finite-volume classes, stations for PNS, profile points for VSL.

@@ -160,7 +160,11 @@ func (eblSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment,
 	}
 	fs := blayer.FreeStream{P: p.PInf, T: p.TInf, V: p.VInf,
 		Rho: m.Mix.Density(p.PInf, p.TInf, m.Y0)}
-	edges, err := blayer.EdgeDistribution(m.Eq, m.Tr, m.Y0, fs, p.Body, stations(p))
+	// Station-level progress: the per-station equilibrium expansions are the
+	// bulk of an E+BL solve, so Run snapshots show live stations like the
+	// marching classes do.
+	edges, err := blayer.EdgeDistributionProgress(m.Eq, m.Tr, m.Y0, fs, p.Body, stations(p),
+		countProgress(p, "ebl", "stations"))
 	if err != nil {
 		return nil, err
 	}
@@ -256,8 +260,9 @@ func (nsSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment, 
 		VInf: p.VInf, PInf: p.PInf, TInf: p.TInf,
 		TWall: p.TWall, MaxSteps: p.MaxSteps,
 		Mu: p.Mu, K: p.K,
-		Flux: p.Flux, Sequence: sequenceFor(p),
-		Pool: st.Pool(), Progress: fvmProgress(p, "ns"),
+		Flux: p.Flux, TimeStepping: p.TimeStepping, CFLRamp: p.CFLRamp,
+		Sequence: sequenceFor(p),
+		Pool:     st.Pool(), Progress: fvmProgress(p, "ns"),
 	})
 	if err != nil {
 		return nil, err
@@ -300,8 +305,9 @@ func ShockShapeWith(ctx context.Context, st *Stack, p Problem) (*ShockEnvelope, 
 		VInf: p.VInf, PInf: p.PInf, TInf: p.TInf,
 		MaxSteps: p.MaxSteps,
 		Standoff: p.Standoff,
-		Flux:     p.Flux, Sequence: sequenceFor(p),
-		Pool: st.Pool(), Progress: fvmProgress(p, "euler"),
+		Flux:     p.Flux, TimeStepping: p.TimeStepping, CFLRamp: p.CFLRamp,
+		Sequence: sequenceFor(p),
+		Pool:     st.Pool(), Progress: fvmProgress(p, "euler"),
 	})
 	if err != nil {
 		return nil, err

@@ -33,6 +33,13 @@ type Case struct {
 	CFL      float64
 	// Flux selects the upwind flux kernel by name (default fvm.DefaultFlux).
 	Flux string
+	// TimeStepping selects the time integrator by name ("explicit",
+	// "implicit"; default fvm.DefaultTimeStepping). Grid-sequenced solves
+	// use the same integrator on both levels.
+	TimeStepping string
+	// CFLRamp tunes the implicit integrator's CFL schedule (zero value =
+	// fvm.DefaultCFLRamp).
+	CFLRamp fvm.CFLRamp
 	// Sequence, when non-nil, runs the solve grid-sequenced: converge on a
 	// coarsened grid first, then finish on the fine grid from the
 	// interpolated coarse state (see fvm.SolveSequenced).
@@ -94,6 +101,8 @@ func Solve(ctx context.Context, c Case) (*Result, error) {
 		CFL:          c.CFL,
 		MUSCL:        true,
 		Flux:         c.Flux,
+		TimeStepping: c.TimeStepping,
+		CFLRamp:      c.CFLRamp,
 		Pool:         c.Pool,
 		Progress:     c.Progress,
 	}

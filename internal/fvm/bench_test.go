@@ -15,6 +15,11 @@ import (
 // grid size so BenchmarkStep tracks the real per-time-step cost of the
 // hemisphere NS hot path (flux assembly, time steps, two RK stages).
 func benchSolver(b *testing.B, viscous bool) *Solver {
+	return benchSolverTS(b, viscous, "")
+}
+
+// benchSolverTS is benchSolver with an explicit time-integrator choice.
+func benchSolverTS(b *testing.B, viscous bool, ts string) *Solver {
 	b.Helper()
 	body := geometry.NewSphere(0.0127)
 	g, err := grid.NewBlunt(body, body.MaxS(), 20, 32, func(s float64) float64 {
@@ -30,6 +35,7 @@ func benchSolver(b *testing.B, viscous bool) *Solver {
 		FreestreamPT: [2]float64{550, 217},
 		CFL:          0.4,
 		MUSCL:        true,
+		TimeStepping: ts,
 	}
 	if viscous {
 		o.Viscous = true
@@ -48,6 +54,7 @@ func benchSolver(b *testing.B, viscous bool) *Solver {
 // BenchmarkStepEuler measures one explicit time step of the inviscid path.
 func BenchmarkStepEuler(b *testing.B) {
 	s := benchSolver(b, false)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := s.Step(); math.IsNaN(r) {
@@ -60,11 +67,61 @@ func BenchmarkStepEuler(b *testing.B) {
 // viscous path (the Fig. 9 NS configuration).
 func BenchmarkStepViscous(b *testing.B) {
 	s := benchSolver(b, true)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := s.Step(); math.IsNaN(r) {
 			b.Fatal("NaN residual")
 		}
+	}
+}
+
+// BenchmarkStepImplicit measures one line-implicit time step of the viscous
+// path: full residual plus the per-line block-tridiagonal solves.
+func BenchmarkStepImplicit(b *testing.B) {
+	s := benchSolverTS(b, true, "implicit")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := s.Step(); math.IsNaN(r) {
+			b.Fatal("NaN residual")
+		}
+	}
+}
+
+// benchSolveViscous is the reference viscous (Fig. 9 class) solve the
+// explicit-vs-implicit benchmarks converge: same grid, gas and tolerance,
+// only the integrator differs.
+func benchSolveViscous(b *testing.B, ts string) {
+	b.Helper()
+	steps := 0
+	s := benchSolverTS(b, true, ts)
+	s.Opts.Progress = func(phase string, step, maxSteps int, residual float64) { steps = step }
+	if _, err := s.Run(6000, 5e-4); err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+	b.ReportMetric(float64(steps), "steps/op")
+}
+
+// BenchmarkSolveExplicit converges the reference viscous case with the
+// explicit two-stage integrator — the baseline the line-implicit scheme has
+// to beat.
+func BenchmarkSolveExplicit(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSolveViscous(b, "explicit")
+	}
+}
+
+// BenchmarkSolveImplicit converges the same viscous case with line-implicit
+// (DPLR-style) time stepping: the wall-normal CFL restriction is removed,
+// so the clustered viscous grid converges in several-fold fewer, modestly
+// more expensive steps.
+func BenchmarkSolveImplicit(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSolveViscous(b, "implicit")
 	}
 }
 

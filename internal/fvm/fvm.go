@@ -2,10 +2,13 @@
 // paper's Euler and Navier-Stokes solver classes: pluggable upwind flux
 // kernels (HLLE, HLLC, AUSM+) for a general equation of state, optional
 // MUSCL/minmod reconstruction, planar or axisymmetric metrics, thin-layer
-// viscous terms, characteristic boundary conditions and local-time-step
-// explicit relaxation to steady state. Grid metrics are precomputed once
-// per solve (grid.Metrics) and flux assembly is parallelized across grid
-// lines on a persistent per-solver worker pool.
+// viscous terms, characteristic boundary conditions and pluggable time
+// integrators — two-stage explicit local-time-step relaxation, or
+// DPLR-style line-implicit relaxation along wall-normal lines that runs
+// CFL in the hundreds on clustered viscous grids. Grid metrics are
+// precomputed once per solve (grid.Metrics), flux assembly is parallelized
+// across grid lines on a persistent per-solver worker pool, and the
+// per-step hot loops are allocation-free.
 package fvm
 
 import (
@@ -43,15 +46,25 @@ type ProgressFunc func(phase string, step, maxSteps int, residual float64)
 
 // Options configures a Solver.
 type Options struct {
-	Gas          gas.Model
-	Viscous      bool
-	Wall         WallKind
-	TWall        float64                 // isothermal wall temperature
-	Mu           func(T float64) float64 // viscosity law (viscous runs)
-	K            func(T float64) float64 // conductivity law
-	CFL          float64                 // default 0.8
-	MUSCL        bool
-	Flux         string     // flux kernel name (see FluxKernels); default DefaultFlux
+	Gas     gas.Model
+	Viscous bool
+	Wall    WallKind
+	TWall   float64                 // isothermal wall temperature
+	Mu      func(T float64) float64 // viscosity law (viscous runs)
+	K       func(T float64) float64 // conductivity law
+	CFL     float64                 // explicit CFL number (default 0.8)
+	MUSCL   bool
+	Flux    string // flux kernel name (see FluxKernels); default DefaultFlux
+	// TimeStepping selects the time integrator by name (see Integrators):
+	// "explicit" (two-stage local-time-step relaxation, the default) or
+	// "implicit" (line-implicit block-tridiagonal relaxation along
+	// wall-normal j-lines, which runs CFL in the hundreds on clustered
+	// viscous grids).
+	TimeStepping string
+	// CFLRamp configures the implicit integrator's CFL schedule; zero-value
+	// fields take the DefaultCFLRamp defaults. The explicit integrator
+	// ignores it and uses CFL directly.
+	CFLRamp      CFLRamp
 	FreestreamV  [2]float64 // freestream velocity (x, y components)
 	FreestreamPT [2]float64 // freestream pressure, temperature
 	// Pool, when non-nil, is a shared worker pool for the parallel sweeps;
@@ -84,6 +97,21 @@ type Solver struct {
 	// stages "coarse" and "fine").
 	phase string
 
+	// stepper is the configured time integrator bound to this solver
+	// (Options.TimeStepping); Step delegates to it.
+	stepper Stepper
+	// cfl is the CFL number timeSteps reads: Opts.CFL for the explicit
+	// integrator, the live ramped value for the implicit one.
+	cfl float64
+
+	// Per-step sweep machinery, allocated once so Step is allocation-free:
+	// prebuilt range closures (method values), the reusable sweep WaitGroup,
+	// and the per-chunk partial sums of the residual reduction.
+	sweepWG                      sync.WaitGroup
+	partial                      []float64
+	swPrim, swDT, swResI, swResJ func(ci, lo, hi int)
+	swAxi, swStage1, swStage2    func(ci, lo, hi int)
+
 	uInf      Cons
 	pInf      Prim
 	ni, nj    int
@@ -109,7 +137,11 @@ func New(g *grid.Grid2D, o Options) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Solver{G: g, Opts: o, ni: g.NI, nj: g.NJ, met: g.Metrics(), flux: flux, phase: "solve"}
+	integ, err := IntegratorFor(o.TimeStepping)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{G: g, Opts: o, ni: g.NI, nj: g.NJ, met: g.Metrics(), flux: flux, phase: "solve", cfl: o.CFL}
 	n := s.ni * s.nj
 	s.U = make([]Cons, n)
 	s.prim = make([]Prim, n)
@@ -136,6 +168,19 @@ func New(g *grid.Grid2D, o Options) (*Solver, error) {
 	} else {
 		s.pool = NewPool(0)
 		s.ownsPool = true
+	}
+	// Hoist the per-step sweep closures and reduction scratch out of the hot
+	// loop: method values bind once here, so Step allocates nothing.
+	s.partial = make([]float64, s.pool.chunkCount(s.ni))
+	s.swPrim = s.primRange
+	s.swDT = s.dtRange
+	s.swResI = s.resIRange
+	s.swResJ = s.resJRange
+	s.swAxi = s.axiRange
+	s.swStage1 = s.stage1Range
+	s.swStage2 = s.stage2Range
+	if s.stepper, err = integ.NewStepper(s); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -179,12 +224,17 @@ func (s *Solver) decode(u Cons) Prim {
 
 // updatePrimitives refreshes the primitive cache in parallel.
 func (s *Solver) updatePrimitives() {
-	s.pool.run(s.ni, func(i int) {
+	s.pool.sweep(s.ni, &s.sweepWG, s.swPrim)
+}
+
+// primRange decodes the primitive cache for i-lines [lo, hi).
+func (s *Solver) primRange(ci, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		for j := 0; j < s.nj; j++ {
 			k := s.idx(i, j)
 			s.prim[k] = s.decode(s.U[k])
 		}
-	})
+	}
 }
 
 func physFlux(q Prim, nx, ny float64) Cons {

@@ -1,0 +1,462 @@
+package fvm
+
+import (
+	"math"
+
+	"cataero/internal/numerics"
+)
+
+// CFLRamp is the implicit integrator's CFL schedule: start low while the
+// transient establishes the shock, grow geometrically as the solution
+// settles, and cap at the relaxation limit. A diverging line halves the
+// ramp (never below Start) before it resumes growing.
+type CFLRamp struct {
+	// Start is the initial CFL number (default 2).
+	Start float64
+	// Growth is the geometric per-step growth factor (default 1.25).
+	// Values below 1 are floored at 1 — the ramp never shrinks the CFL on
+	// its own; 1 holds it constant at Start.
+	Growth float64
+	// Max caps the ramp (default 200; floored at Start).
+	Max float64
+}
+
+// DefaultCFLRamp is the schedule used for zero-valued CFLRamp fields.
+var DefaultCFLRamp = CFLRamp{Start: 2, Growth: 1.25, Max: 200}
+
+// withDefaults fills zero-valued fields from DefaultCFLRamp — explicitly
+// set values are respected: Growth 1 holds the CFL constant, and a Max
+// below Start is floored at Start (not replaced).
+func (r CFLRamp) withDefaults() CFLRamp {
+	if r.Start <= 0 {
+		r.Start = DefaultCFLRamp.Start
+	}
+	if r.Growth == 0 {
+		r.Growth = DefaultCFLRamp.Growth
+	} else if r.Growth < 1 {
+		r.Growth = 1
+	}
+	if r.Max == 0 {
+		r.Max = DefaultCFLRamp.Max
+	}
+	if r.Max < r.Start {
+		r.Max = r.Start
+	}
+	return r
+}
+
+// --- implicit: DPLR-style line-implicit relaxation along wall-normal lines ---
+//
+// The explicit scheme is CFL-bound by the finest wall-normal spacing, which
+// on clustered viscous grids means thousands of steps per solve. The
+// implicit integrator removes exactly that restriction: per i-station it
+// solves a block-tridiagonal 4×4 system along the wall-normal j-line,
+// linearizing the j-face fluxes to first order (exact convective Jacobian of
+// the physical flux plus spectral-radius dissipation — the Jacobian-free
+// lower-order LHS of the DPLR/US3D lineage) and folding the i-direction and
+// boundary couplings into the diagonal by their spectral radii
+// (point-implicit, unconditionally stable in the scalar model). The RHS is
+// the full (optionally MUSCL) residual, so the converged state is identical
+// to the explicit scheme's.
+
+type implicitIntegrator struct{}
+
+func (implicitIntegrator) Name() string { return "implicit" }
+
+func (implicitIntegrator) NewStepper(s *Solver) (Stepper, error) {
+	st := &implicitStepper{
+		s:    s,
+		ramp: s.Opts.CFLRamp.withDefaults(),
+		ws:   make([]*implicitLineWS, s.pool.chunkCount(s.ni)),
+	}
+	st.cfl = st.ramp.Start
+	vs := s.pInf.A + math.Hypot(s.pInf.U, s.pInf.V)
+	st.scl = [4]float64{1, vs, vs, vs * vs}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			st.rat[r*4+c] = st.scl[c] / st.scl[r]
+		}
+	}
+	nj := s.nj
+	for i := range st.ws {
+		st.ws[i] = &implicitLineWS{
+			A:  make([]float64, nj*16),
+			B:  make([]float64, nj*16),
+			C:  make([]float64, nj*16),
+			D:  make([]float64, nj*4),
+			bt: numerics.NewBlockTridiagWorkspace(4),
+		}
+	}
+	st.sweep = st.lineRange
+	return st, nil
+}
+
+// implicitLineWS is the per-worker-chunk workspace of the line sweep: one
+// block-tridiagonal system (reused by every line the chunk owns), the
+// factorization scratch, Jacobian temporaries and the chunk's partial
+// results. Allocated once per solver so stepping is allocation-free.
+type implicitLineWS struct {
+	A, B, C []float64 // nj 4×4 blocks, flat row-major
+	D       []float64 // nj right-hand 4-vectors / solution
+	jm, jp  [16]float64
+	bt      *numerics.BlockTridiagWorkspace
+	sum     float64 // chunk's share of the squared density residual
+	fell    int     // lines that fell back to the explicit stage this step
+}
+
+type implicitStepper struct {
+	s     *Solver
+	ramp  CFLRamp
+	cfl   float64
+	ws    []*implicitLineWS
+	sweep func(ci, lo, hi int)
+	// scl/rat equilibrate the line systems before factorization: conserved
+	// variables mix mass, momentum and energy scales spanning many orders of
+	// magnitude, and the block elimination loses the solution to
+	// cancellation without row/column scaling. scl is the per-component
+	// variable scale (1, v, v, v²); rat[r*4+c] = scl[c]/scl[r] maps a block
+	// entry into the scaled system.
+	scl [4]float64
+	rat [16]float64
+	// fallbacks counts diverged-line explicit fallbacks over the whole run
+	// (observable by tests and divergence diagnostics).
+	fallbacks int
+	// best/stall/cap gate the ramp on convergence: the CFL grows only while
+	// the residual keeps making new lows, and is halved when it limit-cycles
+	// (stallWindow steps without a new low). The plateau level of the
+	// limiter/defect-correction cycle scales with the CFL, so after a stall
+	// the dynamic cap keeps the ramp from climbing straight back to the
+	// level that stalled; sustained descent relaxes the cap again.
+	best  float64
+	stall int
+	cap   float64
+	lows  int
+}
+
+// stallWindow is how many steps without a new residual low the ramp
+// tolerates before halving the CFL.
+const stallWindow = 12
+
+// Step advances one line-implicit time step: full residual evaluation at the
+// ramped CFL, one block-tridiagonal solve per wall-normal line (parallel
+// across lines on the worker pool), an explicit fallback on any line whose
+// update leaves the physical state space, and a CFL ramp update. Returns the
+// RMS density residual of the evaluated RHS.
+func (st *implicitStepper) Step() float64 {
+	s := st.s
+	s.cfl = st.cfl
+	s.updatePrimitives()
+	s.timeSteps()
+	s.computeResidual()
+	s.pool.sweep(s.ni, &s.sweepWG, st.sweep)
+	sum := 0.0
+	fell := 0
+	for _, w := range st.ws {
+		sum += w.sum
+		fell += w.fell
+	}
+	st.fallbacks += fell
+	r := math.Sqrt(sum / float64(s.ni*s.nj))
+	if st.cap == 0 {
+		st.cap = st.ramp.Max
+	}
+	switch {
+	case fell > 0:
+		// A diverging line means the linearization overstepped: back the
+		// ramp off (and hold it there) before growing again.
+		st.cfl = math.Max(st.ramp.Start, 0.5*st.cfl)
+		st.cap = math.Max(st.ramp.Start, st.cfl)
+		st.stall, st.lows = 0, 0
+	case st.best == 0 || r < 0.98*st.best:
+		if st.lows++; st.lows >= 2*stallWindow && st.cap < st.ramp.Max {
+			// Sustained descent: let the cap recover.
+			st.cap = math.Min(st.ramp.Max, 1.5*st.cap)
+			st.lows = 0
+		}
+		st.cfl = math.Min(st.cap, st.cfl*st.ramp.Growth)
+		st.stall = 0
+	default:
+		st.lows = 0
+		if st.stall++; st.stall >= stallWindow {
+			st.cfl = math.Max(st.ramp.Start, 0.5*st.cfl)
+			st.cap = math.Max(st.ramp.Start, st.cfl)
+			st.stall = 0
+		}
+	}
+	if r > 0 && (st.best == 0 || r < st.best) {
+		st.best = r
+	}
+	return r
+}
+
+// lineRange assembles and solves the wall-normal systems for i-lines
+// [lo, hi) — one sweep chunk, using that chunk's private workspace.
+func (st *implicitStepper) lineRange(ci, lo, hi int) {
+	w := st.ws[ci]
+	w.sum, w.fell = 0, 0
+	for i := lo; i < hi; i++ {
+		st.solveLine(i, w)
+	}
+}
+
+// addScaledIdent adds c*I to the 4×4 block at dst.
+func addScaledIdent(dst []float64, c float64) {
+	dst[0] += c
+	dst[5] += c
+	dst[10] += c
+	dst[15] += c
+}
+
+// addScaled adds c*src to the 4×4 block at dst.
+func addScaled(dst, src []float64, c float64) {
+	for k := 0; k < 16; k++ {
+		dst[k] += c * src[k]
+	}
+}
+
+// mirrorCols right-multiplies the 4×4 block by the conserved-variable
+// reflection matrix M = diag(1, I − 2nnᵀ, 1): the Jacobian of the mirrored
+// ghost state with respect to the interior state.
+func mirrorCols(x []float64, nx, ny float64) {
+	for r := 0; r < 4; r++ {
+		dot := x[r*4+1]*nx + x[r*4+2]*ny
+		x[r*4+1] -= 2 * dot * nx
+		x[r*4+2] -= 2 * dot * ny
+	}
+}
+
+// jacN writes scale times the inviscid flux Jacobian ∂F_n/∂U at state q
+// into dst (4×4 row-major), using the cell's effective gamma
+// (rho a²/p) so the linearization tracks a general equation of state.
+func jacN(dst []float64, q Prim, nx, ny, scale float64) {
+	g := q.A * q.A * q.Rho / q.P
+	if g < 1.05 {
+		g = 1.05
+	} else if g > 1.8 {
+		g = 1.8
+	}
+	g1 := g - 1
+	u, v := q.U, q.V
+	un := u*nx + v*ny
+	q2 := u*u + v*v
+	phi := 0.5 * g1 * q2
+	H := q.E + q.P/q.Rho + 0.5*q2
+	dst[0], dst[1], dst[2], dst[3] = 0, scale*nx, scale*ny, 0
+	dst[4] = scale * (phi*nx - u*un)
+	dst[5] = scale * (un + (2-g)*u*nx)
+	dst[6] = scale * (u*ny - g1*v*nx)
+	dst[7] = scale * (g1 * nx)
+	dst[8] = scale * (phi*ny - v*un)
+	dst[9] = scale * (v*nx - g1*u*ny)
+	dst[10] = scale * (un + (2-g)*v*ny)
+	dst[11] = scale * (g1 * ny)
+	dst[12] = scale * ((phi - H) * un)
+	dst[13] = scale * (H*nx - g1*u*un)
+	dst[14] = scale * (H*ny - g1*v*un)
+	dst[15] = scale * (g * un)
+}
+
+// solveLine assembles and solves the block-tridiagonal system of i-line i
+// and applies the update, falling back to a one-stage explicit update at
+// the explicit CFL when the line solve diverges (singular system, or an
+// update that leaves the physical state space).
+func (st *implicitStepper) solveLine(i int, w *implicitLineWS) {
+	s := st.s
+	nj := s.nj
+	met := s.met
+	st.assembleLine(i, w)
+	st.equilibrate(w)
+	ok := w.bt.SolveFlat(w.A, w.B, w.C, w.D, nj) == nil
+	if ok {
+		for j := 0; j < nj; j++ {
+			for c := 0; c < 4; c++ {
+				w.D[j*4+c] *= st.scl[c]
+			}
+		}
+		ok = st.lineUpdateValid(i, w)
+	}
+	if ok {
+		for j := 0; j < nj; j++ {
+			k := s.idx(i, j)
+			for c := 0; c < 4; c++ {
+				s.U[k][c] += w.D[j*4+c]
+			}
+		}
+	} else {
+		st.fallbackLine(i)
+		w.fell++
+	}
+	for j := 0; j < nj; j++ {
+		k := s.idx(i, j)
+		r := s.res[k][0] / met.Vol[k]
+		w.sum += r * r
+	}
+}
+
+// assembleLine fills the workspace with i-line i's block-tridiagonal system
+// (V/Δt I + ∂res/∂U)ΔU = −res, with the j-direction linearized to first
+// order and the i-direction folded into the diagonal by spectral radius.
+func (st *implicitStepper) assembleLine(i int, w *implicitLineWS) {
+	s := st.s
+	nj := s.nj
+	met := s.met
+	for k := range w.A {
+		w.A[k] = 0
+		w.B[k] = 0
+		w.C[k] = 0
+	}
+	// Cell terms: V/Δt on the diagonal, the i-direction (off-line) face
+	// couplings folded in by their spectral radii, and the RHS.
+	for j := 0; j < nj; j++ {
+		k := s.idx(i, j)
+		q := s.prim[k]
+		Bj := w.B[j*16 : (j+1)*16]
+		addScaledIdent(Bj, met.Vol[k]/s.dt[k])
+		fw := 3 * (i*nj + j)
+		fe := 3 * ((i+1)*nj + j)
+		lamW := (math.Abs(q.U*met.FaceIN[fw]+q.V*met.FaceIN[fw+1]) + q.A) * met.FaceIN[fw+2]
+		lamE := (math.Abs(q.U*met.FaceIN[fe]+q.V*met.FaceIN[fe+1]) + q.A) * met.FaceIN[fe+2]
+		addScaledIdent(Bj, 0.5*(lamW+lamE))
+		for c := 0; c < 4; c++ {
+			w.D[j*4+c] = -s.res[k][c]
+		}
+	}
+	// J-direction faces: first-order Jacobian + spectral-radius dissipation
+	// for the interior, spectral-radius (plus wall conduction) diagonal
+	// augmentation at the boundaries.
+	for f := 0; f <= nj; f++ {
+		fk := 3 * (i*(nj+1) + f)
+		nx, ny, area := met.FaceJN[fk], met.FaceJN[fk+1], met.FaceJN[fk+2]
+		if area == 0 {
+			continue
+		}
+		switch {
+		case f == 0:
+			// Wall: the flux is Flux(mirror(q), q). Linearize both arguments
+			// — the ghost through the reflection matrix — so the convective
+			// Jacobian block cancels against the f=1 face's instead of
+			// leaving a large uncancelled (non-normal) block on the wall row.
+			q := s.prim[s.idx(i, 0)]
+			lam := (math.Abs(q.U*nx+q.V*ny) + q.A) * area
+			B0 := w.B[0:16]
+			// res[0] -= F_w, so subtract dF_w/dU0 =
+			// ½(S·A(g)+λI)·M + ½(S·A(q)−λI) with g = mirror(q).
+			jacN(w.jm[:], mirror(q, nx, ny), nx, ny, area)
+			mirrorCols(w.jm[:], nx, ny)
+			addScaled(B0, w.jm[:], -0.5)
+			jacN(w.jp[:], q, nx, ny, area)
+			addScaled(B0, w.jp[:], -0.5)
+			// −½λM − (−½λI): M has unit spectral radius, fold both into a
+			// single dissipation bound.
+			addScaledIdent(B0, lam)
+			if s.Opts.Viscous && s.Opts.Wall == NoSlipIsothermal {
+				mu := s.Opts.Mu(0.5 * (q.T + s.Opts.TWall))
+				addScaledIdent(B0, mu*area/(met.WallHalf[i]*q.Rho))
+			}
+		case f == nj:
+			// Outer boundary: the flux is Flux(q_in, q_inf); the freestream
+			// argument is constant, so only the interior-side upwind
+			// Jacobian ½(S·A+λI) enters — which cancels the f=nj-1 face's
+			// −½S·A block on the outer row.
+			q := s.prim[s.idx(i, nj-1)]
+			lam := (math.Abs(q.U*nx+q.V*ny) + q.A) * area
+			Bn := w.B[(nj-1)*16 : nj*16]
+			jacN(w.jm[:], q, nx, ny, area)
+			addScaled(Bn, w.jm[:], 0.5)
+			addScaledIdent(Bn, 0.5*lam)
+		default:
+			m := s.prim[s.idx(i, f-1)]
+			p := s.prim[s.idx(i, f)]
+			lamM := math.Abs(m.U*nx+m.V*ny) + m.A
+			lamP := math.Abs(p.U*nx+p.V*ny) + p.A
+			lam := math.Max(lamM, lamP) * area
+			jacN(w.jm[:], m, nx, ny, area)
+			jacN(w.jp[:], p, nx, ny, area)
+			Bm := w.B[(f-1)*16 : f*16]
+			Cm := w.C[(f-1)*16 : f*16]
+			Af := w.A[f*16 : (f+1)*16]
+			Bf := w.B[f*16 : (f+1)*16]
+			// res[f-1] += F, res[f] -= F with
+			// ∂F/∂U_m ≈ ½(S·A(m) + λI), ∂F/∂U_p ≈ ½(S·A(p) − λI).
+			addScaled(Bm, w.jm[:], 0.5)
+			addScaledIdent(Bm, 0.5*lam)
+			addScaled(Cm, w.jp[:], 0.5)
+			addScaledIdent(Cm, -0.5*lam)
+			addScaled(Af, w.jm[:], -0.5)
+			addScaledIdent(Af, -0.5*lam)
+			addScaled(Bf, w.jp[:], -0.5)
+			addScaledIdent(Bf, 0.5*lam)
+			if s.Opts.Viscous {
+				if dn := met.JDist[i*(s.nj+1)+f]; dn > 0 {
+					c := s.Opts.Mu(0.5*(m.T+p.T)) * area / (dn * 0.5 * (m.Rho + p.Rho))
+					addScaledIdent(Bm, c)
+					addScaledIdent(Cm, -c)
+					addScaledIdent(Af, -c)
+					addScaledIdent(Bf, c)
+				}
+			}
+		}
+	}
+}
+
+// equilibrate transforms the assembled system into the scaled variables
+// (D⁻¹TD)(D⁻¹ΔU) = D⁻¹d with D the per-cell block diag(scl): every block
+// entry becomes O(spectral radius), which the unscaled elimination is not —
+// conserved-variable Jacobians span the mass-to-energy magnitude range and
+// lose the factorization to cancellation.
+func (st *implicitStepper) equilibrate(w *implicitLineWS) {
+	nj := st.s.nj
+	for j := 0; j < nj; j++ {
+		for r := 0; r < 4; r++ {
+			base := j*16 + r*4
+			for c := 0; c < 4; c++ {
+				w.A[base+c] *= st.rat[r*4+c]
+				w.B[base+c] *= st.rat[r*4+c]
+				w.C[base+c] *= st.rat[r*4+c]
+			}
+			w.D[j*4+r] /= st.scl[r]
+		}
+	}
+}
+
+// lineUpdateValid reports whether applying the line's solved increments
+// keeps every cell physical: finite, positive density and positive internal
+// energy (with small floors relative to the freestream).
+func (st *implicitStepper) lineUpdateValid(i int, w *implicitLineWS) bool {
+	s := st.s
+	rhoFloor := 1e-9 * s.pInf.Rho
+	eFloor := 1e-6 * s.pInf.E
+	for j := 0; j < s.nj; j++ {
+		k := s.idx(i, j)
+		rho := s.U[k][0] + w.D[j*4]
+		mx := s.U[k][1] + w.D[j*4+1]
+		my := s.U[k][2] + w.D[j*4+2]
+		et := s.U[k][3] + w.D[j*4+3]
+		if math.IsNaN(rho) || math.IsNaN(mx) || math.IsNaN(my) || math.IsNaN(et) {
+			return false
+		}
+		if rho <= rhoFloor {
+			return false
+		}
+		if e := et/rho - 0.5*(mx*mx+my*my)/(rho*rho); e <= eFloor {
+			return false
+		}
+	}
+	return true
+}
+
+// fallbackLine applies a one-stage explicit update to line i at the
+// explicit CFL (the local time steps were built at the ramped CFL, so they
+// are rescaled by Opts.CFL/cfl) — the diverging-line escape hatch.
+func (st *implicitStepper) fallbackLine(i int) {
+	s := st.s
+	scale := s.Opts.CFL / st.cfl
+	met := s.met
+	for j := 0; j < s.nj; j++ {
+		k := s.idx(i, j)
+		dtv := scale * s.dt[k] / met.Vol[k]
+		for c := 0; c < 4; c++ {
+			s.U[k][c] -= dtv * s.res[k][c]
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package fvm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Stepper advances a solver one time step and returns the RMS density
+// residual — the per-solver instance of a time integrator, carrying any
+// workspace the scheme needs (allocated once at New so stepping is
+// allocation-free).
+type Stepper interface {
+	Step() float64
+}
+
+// Integrator is a time-integration scheme for the finite-volume relaxation.
+// Implementations register themselves with RegisterIntegrator and are
+// selected by name via Options.TimeStepping, mirroring the flux-kernel
+// registry: new schemes (multigrid smoothers, alternating-direction
+// relaxation, ...) plug in without touching the solver loops.
+type Integrator interface {
+	// Name is the registry key (e.g. "explicit").
+	Name() string
+	// NewStepper binds the integrator to a solver, allocating its
+	// per-solver workspace.
+	NewStepper(s *Solver) (Stepper, error)
+}
+
+var (
+	integMu       sync.RWMutex
+	integRegistry = map[string]Integrator{}
+)
+
+// DefaultTimeStepping is the integrator used when Options.TimeStepping is
+// empty.
+const DefaultTimeStepping = "explicit"
+
+func init() {
+	RegisterIntegrator(explicitIntegrator{})
+	RegisterIntegrator(implicitIntegrator{})
+}
+
+// RegisterIntegrator installs a time integrator under its name, replacing
+// any previous integrator with the same name.
+func RegisterIntegrator(in Integrator) {
+	if in == nil {
+		panic("fvm: RegisterIntegrator with nil integrator")
+	}
+	integMu.Lock()
+	defer integMu.Unlock()
+	integRegistry[in.Name()] = in
+}
+
+// IntegratorFor resolves a registered integrator by name; the empty name
+// resolves to DefaultTimeStepping.
+func IntegratorFor(name string) (Integrator, error) {
+	if name == "" {
+		name = DefaultTimeStepping
+	}
+	integMu.RLock()
+	defer integMu.RUnlock()
+	in, ok := integRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("fvm: no time integrator %q (have %v)", name, integratorNamesLocked())
+	}
+	return in, nil
+}
+
+// Integrators returns the registered integrator names in ascending order —
+// the valid values of Options.TimeStepping.
+func Integrators() []string {
+	integMu.RLock()
+	defer integMu.RUnlock()
+	return integratorNamesLocked()
+}
+
+func integratorNamesLocked() []string {
+	out := make([]string, 0, len(integRegistry))
+	for n := range integRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- explicit: two-stage (Heun) local-time-step relaxation ---
+
+type explicitIntegrator struct{}
+
+func (explicitIntegrator) Name() string { return "explicit" }
+
+func (explicitIntegrator) NewStepper(s *Solver) (Stepper, error) {
+	return explicitStepper{s}, nil
+}
+
+type explicitStepper struct{ s *Solver }
+
+func (e explicitStepper) Step() float64 { return e.s.stepExplicit() }

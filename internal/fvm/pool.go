@@ -8,7 +8,7 @@ import (
 // Pool is a persistent set of worker goroutines for the per-step parallel
 // sweeps. A Pool is safe for concurrent use by many solvers at once: sweep
 // chunks are handed to a worker only when one is parked waiting (help-first
-// semantics — see runRanges), so solvers sharing one pool can never
+// semantics — see sweep), so solvers sharing one pool can never
 // deadlock, and the resident goroutine count stays fixed no matter how many
 // solves run concurrently. Sessions create one GOMAXPROCS-sized pool and
 // thread it through every finite-volume solve (Options.Pool); a solver
@@ -21,8 +21,9 @@ type Pool struct {
 
 // poolTask is one contiguous index range of a parallel sweep.
 type poolTask struct {
+	ci     int // chunk ordinal within the sweep
 	lo, hi int
-	run    func(lo, hi int)
+	run    func(ci, lo, hi int)
 	wg     *sync.WaitGroup
 }
 
@@ -49,7 +50,7 @@ func NewPool(workers int) *Pool {
 
 func poolWorker(tasks <-chan poolTask) {
 	for t := range tasks {
-		t.run(t.lo, t.hi)
+		t.run(t.ci, t.lo, t.hi)
 		t.wg.Done()
 	}
 }
@@ -68,36 +69,42 @@ func (p *Pool) Close() {
 	})
 }
 
-// run executes f(i) for every i in [0, n), split into one chunk per worker.
-func (p *Pool) run(n int, f func(i int)) {
-	p.runRanges(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			f(i)
-		}
-	})
-}
-
-// runSum executes f(i) for every i in [0, n) and returns the sum of the
-// results, accumulating per-chunk partials so the reduction parallelizes
-// without atomics in the inner loop.
-func (p *Pool) runSum(n int, f func(i int) float64) float64 {
+// sweep splits [0, n) into one range per worker and executes run on each,
+// passing the chunk ordinal ci (0 <= ci < chunkCount(n)) so reductions can
+// write per-chunk scratch slots without re-deriving the split. A chunk is
+// handed off only when a worker is parked ready to take it (non-blocking
+// send); otherwise the caller runs the chunk inline. Under a shared pool
+// this is what makes concurrent solves safe: a sweep never waits on workers
+// occupied by other solves — it degrades to inline execution on its own
+// goroutine instead of queueing behind them. The caller supplies the range
+// closure and the WaitGroup to reuse across sweeps, so a steady-state sweep
+// with a prebuilt closure (e.g. a method value stored on the solver) costs
+// zero heap allocations. The WaitGroup must not be shared by concurrent
+// sweeps.
+func (p *Pool) sweep(n int, wg *sync.WaitGroup, run func(ci, lo, hi int)) {
 	if n <= 0 {
-		return 0
+		return
+	}
+	if p.tasks == nil || n == 1 {
+		run(0, 0, n)
+		return
 	}
 	chunk := p.chunkSize(n)
-	partial := make([]float64, (n+chunk-1)/chunk)
-	p.runRanges(n, func(lo, hi int) {
-		s := 0.0
-		for i := lo; i < hi; i++ {
-			s += f(i)
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
 		}
-		partial[lo/chunk] = s
-	})
-	total := 0.0
-	for _, s := range partial {
-		total += s
+		wg.Add(1)
+		select {
+		case p.tasks <- poolTask{ci: lo / chunk, lo: lo, hi: hi, run: run, wg: wg}:
+		default:
+			run(lo/chunk, lo, hi)
+			wg.Done()
+		}
 	}
-	return total
+	run(0, 0, chunk)
+	wg.Wait()
 }
 
 // chunkSize returns the per-chunk index count used to split a sweep of n.
@@ -112,35 +119,12 @@ func (p *Pool) chunkSize(n int) int {
 	return (n + w - 1) / w
 }
 
-// runRanges splits [0, n) into one range per worker and executes run on
-// each. A chunk is handed off only when a worker is parked ready to take it
-// (non-blocking send); otherwise the caller runs the chunk inline. Under a
-// shared pool this is what makes concurrent solves safe: a sweep never
-// waits on workers occupied by other solves — it degrades to inline
-// execution on its own goroutine instead of queueing behind them.
-func (p *Pool) runRanges(n int, run func(lo, hi int)) {
+// chunkCount returns how many chunks a sweep of n splits into — the size a
+// per-chunk scratch array must have for sweep's ci to index it.
+func (p *Pool) chunkCount(n int) int {
 	if n <= 0 {
-		return
+		return 0
 	}
-	if p.tasks == nil || n == 1 {
-		run(0, n)
-		return
-	}
-	chunk := p.chunkSize(n)
-	var wg sync.WaitGroup
-	for lo := chunk; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		select {
-		case p.tasks <- poolTask{lo: lo, hi: hi, run: run, wg: &wg}:
-		default:
-			run(lo, hi)
-			wg.Done()
-		}
-	}
-	run(0, chunk)
-	wg.Wait()
+	c := p.chunkSize(n)
+	return (n + c - 1) / c
 }

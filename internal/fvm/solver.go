@@ -8,15 +8,27 @@ import (
 
 // computeResidual assembles the flux balance of every cell into s.res
 // (d(U V)/dt = -res). Boundary conditions are applied at the flux level.
-// All geometry comes from the precomputed metric arrays.
+// All geometry comes from the precomputed metric arrays. The sweeps run on
+// prebuilt range closures so the per-step cost is allocation-free.
 func (s *Solver) computeResidual() {
-	ni, nj := s.ni, s.nj
-	met := s.met
 	for k := range s.res {
 		s.res[k] = Cons{}
 	}
 	// I-direction faces: i = 0..ni, between cells (i-1,j) and (i,j).
-	s.pool.run(nj, func(j int) {
+	s.pool.sweep(s.nj, &s.sweepWG, s.swResI)
+	// J-direction faces: j = 0..nj, between cells (i,j-1) and (i,j).
+	s.pool.sweep(s.ni, &s.sweepWG, s.swResJ)
+	// Axisymmetric hoop-pressure source in the radial momentum equation.
+	if s.G.Axisymmetric {
+		s.pool.sweep(s.ni, &s.sweepWG, s.swAxi)
+	}
+}
+
+// resIRange accumulates the I-direction face fluxes for j-rows [lo, hi).
+func (s *Solver) resIRange(ci, lo, hi int) {
+	ni, nj := s.ni, s.nj
+	met := s.met
+	for j := lo; j < hi; j++ {
 		for i := 0; i <= ni; i++ {
 			fk := 3 * (i*nj + j)
 			nx, ny, area := met.FaceIN[fk], met.FaceIN[fk+1], met.FaceIN[fk+2]
@@ -66,9 +78,14 @@ func (s *Solver) computeResidual() {
 				}
 			}
 		}
-	})
-	// J-direction faces: j = 0..nj, between cells (i,j-1) and (i,j).
-	s.pool.run(ni, func(i int) {
+	}
+}
+
+// resJRange accumulates the J-direction face fluxes for i-lines [lo, hi).
+func (s *Solver) resJRange(ci, lo, hi int) {
+	nj := s.nj
+	met := s.met
+	for i := lo; i < hi; i++ {
 		for j := 0; j <= nj; j++ {
 			fk := 3 * (i*(nj+1) + j)
 			nx, ny, area := met.FaceJN[fk], met.FaceJN[fk+1], met.FaceJN[fk+2]
@@ -121,15 +138,18 @@ func (s *Solver) computeResidual() {
 				}
 			}
 		}
-	})
-	// Axisymmetric hoop-pressure source in the radial momentum equation.
-	if s.G.Axisymmetric {
-		s.pool.run(ni, func(i int) {
-			for j := 0; j < nj; j++ {
-				k := s.idx(i, j)
-				s.res[k][2] -= s.prim[k].P * met.Area[k]
-			}
-		})
+	}
+}
+
+// axiRange applies the axisymmetric hoop-pressure source for i-lines
+// [lo, hi).
+func (s *Solver) axiRange(ci, lo, hi int) {
+	met := s.met
+	for i := lo; i < hi; i++ {
+		for j := 0; j < s.nj; j++ {
+			k := s.idx(i, j)
+			s.res[k][2] -= s.prim[k].P * met.Area[k]
+		}
 	}
 }
 
@@ -191,11 +211,18 @@ func (s *Solver) viscousFluxJ(i, j int, area float64) Cons {
 	}
 }
 
-// timeSteps fills the local time-step array from the cached metrics.
+// timeSteps fills the local time-step array from the cached metrics, at the
+// solver's current CFL number (s.cfl: Opts.CFL for the explicit integrator,
+// the ramped value for the implicit one).
 func (s *Solver) timeSteps() {
+	s.pool.sweep(s.ni, &s.sweepWG, s.swDT)
+}
+
+// dtRange fills the local time steps for i-lines [lo, hi).
+func (s *Solver) dtRange(ci, lo, hi int) {
 	met := s.met
 	nj := s.nj
-	s.pool.run(s.ni, func(i int) {
+	for i := lo; i < hi; i++ {
 		for j := 0; j < nj; j++ {
 			k := s.idx(i, j)
 			q := s.prim[k]
@@ -230,28 +257,67 @@ func (s *Solver) timeSteps() {
 			if lam <= 0 {
 				lam = 1
 			}
-			s.dt[k] = s.Opts.CFL * vol / lam
+			s.dt[k] = s.cfl * vol / lam
 		}
-	})
+	}
 }
 
-// Step advances one explicit two-stage (Heun) local-time step and returns
-// the RMS density residual. Both stages, including the stage-2 combine and
-// residual reduction, run on the worker pool.
+// Step advances one time step of the configured integrator
+// (Options.TimeStepping) and returns the RMS density residual.
 func (s *Solver) Step() float64 {
+	return s.stepper.Step()
+}
+
+// stepExplicit advances one explicit two-stage (Heun) local-time step and
+// returns the RMS density residual. Both stages, including the stage-2
+// combine and residual reduction, run on the worker pool.
+func (s *Solver) stepExplicit() float64 {
 	s.updatePrimitives()
 	s.timeSteps()
 	copy(s.u0, s.U)
 	// Stage 1.
 	s.computeResidual()
-	s.applyUpdate(1.0)
+	s.pool.sweep(s.ni, &s.sweepWG, s.swStage1)
 	// Stage 2.
 	s.updatePrimitives()
 	s.computeResidual()
+	s.pool.sweep(s.ni, &s.sweepWG, s.swStage2)
+	return math.Sqrt(s.partialSum() / float64(s.ni*s.nj))
+}
+
+// partialSum folds the per-chunk partial sums the last reduction sweep left
+// in s.partial (sized by chunkCount(ni); every chunk of an ni-sweep writes
+// its ci slot).
+func (s *Solver) partialSum() float64 {
+	sum := 0.0
+	for _, v := range s.partial {
+		sum += v
+	}
+	return sum
+}
+
+// stage1Range applies the full forward-Euler stage-1 update for i-lines
+// [lo, hi).
+func (s *Solver) stage1Range(ci, lo, hi int) {
+	met := s.met
+	for i := lo; i < hi; i++ {
+		for j := 0; j < s.nj; j++ {
+			k := s.idx(i, j)
+			dtv := s.dt[k] / met.Vol[k]
+			for c := 0; c < 4; c++ {
+				s.U[k][c] -= dtv * s.res[k][c]
+			}
+		}
+	}
+}
+
+// stage2Range combines the Heun stages and accumulates the chunk's share of
+// the squared density residual into s.partial.
+func (s *Solver) stage2Range(ci, lo, hi int) {
 	met := s.met
 	nj := s.nj
-	sum := s.pool.runSum(s.ni, func(i int) float64 {
-		line := 0.0
+	line := 0.0
+	for i := lo; i < hi; i++ {
 		for j := 0; j < nj; j++ {
 			k := s.idx(i, j)
 			dtv := s.dt[k] / met.Vol[k]
@@ -261,22 +327,8 @@ func (s *Solver) Step() float64 {
 			r := s.res[k][0] / met.Vol[k]
 			line += r * r
 		}
-		return line
-	})
-	return math.Sqrt(sum / float64(s.ni*s.nj))
-}
-
-func (s *Solver) applyUpdate(frac float64) {
-	met := s.met
-	s.pool.run(s.ni, func(i int) {
-		for j := 0; j < s.nj; j++ {
-			k := s.idx(i, j)
-			dtv := frac * s.dt[k] / met.Vol[k]
-			for c := 0; c < 4; c++ {
-				s.U[k][c] -= dtv * s.res[k][c]
-			}
-		}
-	})
+	}
+	s.partial[ci] = line
 }
 
 // Run iterates until the density residual falls by dropTol relative to its

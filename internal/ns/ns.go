@@ -34,6 +34,14 @@ type Case struct {
 	K        func(T float64) float64
 	// Flux selects the upwind flux kernel by name (default fvm.DefaultFlux).
 	Flux string
+	// TimeStepping selects the time integrator by name ("explicit",
+	// "implicit"; default fvm.DefaultTimeStepping). The implicit integrator
+	// removes the wall-normal CFL restriction, converging clustered viscous
+	// grids in several-fold fewer steps.
+	TimeStepping string
+	// CFLRamp tunes the implicit integrator's CFL schedule (zero value =
+	// fvm.DefaultCFLRamp).
+	CFLRamp fvm.CFLRamp
 	// Sequence, when non-nil, runs the solve grid-sequenced: converge on a
 	// coarsened grid first, then finish on the fine grid from the
 	// interpolated coarse state (see fvm.SolveSequenced).
@@ -101,6 +109,8 @@ func Solve(ctx context.Context, c Case) (*Result, error) {
 		CFL:          c.CFL,
 		MUSCL:        true,
 		Flux:         c.Flux,
+		TimeStepping: c.TimeStepping,
+		CFLRamp:      c.CFLRamp,
 		Pool:         c.Pool,
 		Progress:     c.Progress,
 	}

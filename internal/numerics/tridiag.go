@@ -102,28 +102,84 @@ func BlockTridiag(A, B, C [][]float64, D [][]float64, m int) error {
 	if len(A) != n || len(C) != n || len(D) != n {
 		return fmt.Errorf("numerics: block tridiag length mismatch (n=%d)", n)
 	}
-	lu := make([]float64, m*m)
-	piv := make([]int, m)
-	tmp := make([]float64, m)
-	tmpM := make([]float64, m*m)
+	w := NewBlockTridiagWorkspace(m)
 	for i := 0; i < n; i++ {
 		if i > 0 {
 			// B[i] -= A[i] * C[i-1]; D[i] -= A[i] * D[i-1]
 			matMulSub(B[i], A[i], C[i-1], m)
 			matVecSub(D[i], A[i], D[i-1], m)
 		}
-		copy(lu, B[i])
-		if err := luFactor(lu, piv, m); err != nil {
+		copy(w.lu, B[i])
+		if err := luFactor(w.lu, w.piv, m); err != nil {
 			return err
 		}
 		// C[i] = B[i]^{-1} C[i], D[i] = B[i]^{-1} D[i]
 		if i < n-1 {
-			luSolveMat(lu, piv, C[i], tmpM, m)
+			luSolveMat(w.lu, w.piv, C[i], w.tmpM, m)
 		}
-		luSolveVec(lu, piv, D[i], tmp, m)
+		luSolveVec(w.lu, w.piv, D[i], w.tmp, m)
 	}
 	for i := n - 2; i >= 0; i-- {
 		matVecSub(D[i], C[i], D[i+1], m)
+	}
+	return nil
+}
+
+// BlockTridiagWorkspace holds the per-solve scratch of a block-tridiagonal
+// factorization (one block LU, pivots and temporaries), so batched solves —
+// many lines of the same block size in a relaxation sweep — allocate nothing
+// per line. Each concurrent solve needs its own workspace.
+type BlockTridiagWorkspace struct {
+	m    int
+	lu   []float64
+	tmpM []float64
+	piv  []int
+	tmp  []float64
+}
+
+// NewBlockTridiagWorkspace returns a workspace for m×m block systems.
+func NewBlockTridiagWorkspace(m int) *BlockTridiagWorkspace {
+	return &BlockTridiagWorkspace{
+		m:    m,
+		lu:   make([]float64, m*m),
+		tmpM: make([]float64, m*m),
+		piv:  make([]int, m),
+		tmp:  make([]float64, m),
+	}
+}
+
+// SolveFlat solves a block-tridiagonal system stored flat: A, B, C hold the
+// sub-, main- and super-diagonal blocks as n contiguous m*m row-major
+// matrices (length n*m*m) and D holds the right-hand side as n contiguous
+// length-m blocks (length n*m). The solution overwrites D; the blocks are
+// modified during the factorization. A's first block and C's last block are
+// ignored. The flat layout keeps a whole line's system contiguous in memory
+// and the workspace makes repeated solves allocation-free.
+func (w *BlockTridiagWorkspace) SolveFlat(A, B, C, D []float64, n int) error {
+	m := w.m
+	mm := m * m
+	if len(A) < n*mm || len(B) < n*mm || len(C) < n*mm || len(D) < n*m {
+		return fmt.Errorf("numerics: block tridiag flat length mismatch (n=%d, m=%d)", n, m)
+	}
+	for i := 0; i < n; i++ {
+		Bi := B[i*mm : (i+1)*mm]
+		Di := D[i*m : (i+1)*m]
+		if i > 0 {
+			Ai := A[i*mm : (i+1)*mm]
+			matMulSub(Bi, Ai, C[(i-1)*mm:i*mm], m)
+			matVecSub(Di, Ai, D[(i-1)*m:i*m], m)
+		}
+		copy(w.lu, Bi)
+		if err := luFactor(w.lu, w.piv, m); err != nil {
+			return err
+		}
+		if i < n-1 {
+			luSolveMat(w.lu, w.piv, C[i*mm:(i+1)*mm], w.tmpM, m)
+		}
+		luSolveVec(w.lu, w.piv, Di, w.tmp, m)
+	}
+	for i := n - 2; i >= 0; i-- {
+		matVecSub(D[i*m:(i+1)*m], C[i*mm:(i+1)*mm], D[(i+1)*m:(i+2)*m], m)
 	}
 	return nil
 }

@@ -182,6 +182,72 @@ func TestBlockTridiagMatchesDense(t *testing.T) {
 	}
 }
 
+// Property: the flat workspace solver agrees with dense LU on random
+// diagonally dominant block systems, across repeated reuses of one
+// workspace (batched line solves) and varying line lengths.
+func TestBlockTridiagFlatMatchesDense(t *testing.T) {
+	m := 4
+	w := NewBlockTridiagWorkspace(m)
+	for trial := 0; trial < 12; trial++ {
+		r := rand.New(rand.NewSource(int64(100 + trial)))
+		n := 2 + r.Intn(12)
+		mm := m * m
+		A := make([]float64, n*mm)
+		B := make([]float64, n*mm)
+		C := make([]float64, n*mm)
+		D := make([]float64, n*m)
+		N := n * m
+		full := make([]float64, N*N)
+		rhs := make([]float64, N)
+		for i := 0; i < n; i++ {
+			for j := 0; j < mm; j++ {
+				if i > 0 {
+					A[i*mm+j] = r.Float64() - 0.5
+				}
+				if i < n-1 {
+					C[i*mm+j] = r.Float64() - 0.5
+				}
+				B[i*mm+j] = r.Float64() - 0.5
+			}
+			for j := 0; j < m; j++ {
+				B[i*mm+j*m+j] += 6 // dominance
+				D[i*m+j] = r.Float64()*4 - 2
+				rhs[i*m+j] = D[i*m+j]
+			}
+			for bi := 0; bi < m; bi++ {
+				for bj := 0; bj < m; bj++ {
+					full[(i*m+bi)*N+i*m+bj] = B[i*mm+bi*m+bj]
+					if i > 0 {
+						full[(i*m+bi)*N+(i-1)*m+bj] = A[i*mm+bi*m+bj]
+					}
+					if i < n-1 {
+						full[(i*m+bi)*N+(i+1)*m+bj] = C[i*mm+bi*m+bj]
+					}
+				}
+			}
+		}
+		ref, err := SolveDense(full, rhs, N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.SolveFlat(A, B, C, D, n); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < N; k++ {
+			if math.Abs(D[k]-ref[k]) > 1e-9*(1+math.Abs(ref[k])) {
+				t.Fatalf("trial %d entry %d: got %g want %g", trial, k, D[k], ref[k])
+			}
+		}
+	}
+}
+
+func TestBlockTridiagFlatLengthMismatch(t *testing.T) {
+	w := NewBlockTridiagWorkspace(2)
+	if err := w.SolveFlat(make([]float64, 4), make([]float64, 8), make([]float64, 8), make([]float64, 4), 2); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
 func TestSolveDenseIdentityAndRandom(t *testing.T) {
 	A := []float64{1, 0, 0, 1}
 	x, err := SolveDense(A, []float64{3, -4}, 2)

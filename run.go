@@ -31,6 +31,18 @@ func (s RunState) String() string {
 	return "unknown"
 }
 
+// HistoryPoint is one retained (step, residual) sample of a run's
+// convergence history.
+type HistoryPoint struct {
+	Step     int
+	Residual float64
+}
+
+// HistoryDepth is how many (step, residual) samples a run retains in its
+// snapshot ring buffer — enough to read a convergence trend without a
+// Monitor streaming every iteration.
+const HistoryDepth = 64
+
 // Snapshot is one consistent observation of a run's progress: the solver
 // class and registry name, the schedule phase (e.g. the "coarse" vs "fine"
 // grid-sequencing stage), the step count and latest residual, and the
@@ -48,7 +60,23 @@ type Snapshot struct {
 	Residual float64
 	Elapsed  time.Duration // since submission; frozen at completion
 	Err      error         // terminal error; non-nil only when State == RunDone
+
+	history []HistoryPoint
 }
+
+// History returns the run's most recent (step, residual) samples in
+// chronological order — at most HistoryDepth of them, captured atomically
+// with the rest of the snapshot. The window covers the current schedule
+// phase only (a phase switch, e.g. the coarse→fine grid-sequencing
+// transition, restarts it), so steps are strictly increasing and residuals
+// are comparable within one window. Classes that do not compute a residual
+// (EBL, PNS, VSL) yield an empty history; services can plot a convergence
+// trend from it without installing a Monitor. History is materialized on
+// snapshots returned by Snapshot() and on the terminal snapshot a Watch
+// channel ends with (not on intermediate watcher snapshots, which would
+// cost a copy per solver step). The slice is owned by the snapshot and must
+// not be mutated.
+func (s Snapshot) History() []HistoryPoint { return s.history }
 
 // runHandle is the observable core shared by Run and ShockRun: the live
 // snapshot, watcher channels, cancellation and completion signalling.
@@ -62,6 +90,15 @@ type runHandle struct {
 	final    time.Duration // elapsed frozen when the run finishes
 	watchers []chan Snapshot
 	err      error
+
+	// hist is the residual-history ring: hist[(histStart+k) % HistoryDepth]
+	// for k < histLen walks the retained samples oldest-first. histPhase is
+	// the schedule phase the window belongs to — a phase switch restarts it
+	// so the retained steps stay monotone.
+	hist      [HistoryDepth]HistoryPoint
+	histStart int
+	histLen   int
+	histPhase string
 }
 
 func (h *runHandle) init(cancel func(), p Problem) {
@@ -80,11 +117,12 @@ func (h *runHandle) Cancel() { h.cancel() }
 // select loops.
 func (h *runHandle) Done() <-chan struct{} { return h.done }
 
-// Snapshot returns the run's current progress.
+// Snapshot returns the run's current progress, including the retained
+// residual history.
 func (h *runHandle) Snapshot() Snapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.snapLocked()
+	return h.snapWithHistoryLocked()
 }
 
 func (h *runHandle) snapLocked() Snapshot {
@@ -93,6 +131,20 @@ func (h *runHandle) snapLocked() Snapshot {
 		s.Elapsed = h.final
 	} else {
 		s.Elapsed = time.Since(h.start)
+	}
+	return s
+}
+
+// snapWithHistoryLocked is snapLocked plus a copy of the history ring —
+// only for on-demand snapshots and the terminal notification, so the
+// per-step observe/notify path never pays the copy.
+func (h *runHandle) snapWithHistoryLocked() Snapshot {
+	s := h.snapLocked()
+	if h.histLen > 0 {
+		s.history = make([]HistoryPoint, h.histLen)
+		for k := 0; k < h.histLen; k++ {
+			s.history[k] = h.hist[(h.histStart+k)%HistoryDepth]
+		}
 	}
 	return s
 }
@@ -107,7 +159,7 @@ func (h *runHandle) Watch() <-chan Snapshot {
 	defer h.mu.Unlock()
 	ch := make(chan Snapshot, 1)
 	if h.snap.State == RunDone {
-		ch <- h.snapLocked()
+		ch <- h.snapWithHistoryLocked()
 		close(ch)
 		return ch
 	}
@@ -129,6 +181,24 @@ func (h *runHandle) observe(p core.Progress) {
 		h.snap.MaxSteps = p.MaxSteps
 	}
 	h.snap.Residual = p.Residual
+	if p.Residual > 0 {
+		// Retain the sample in the history ring (classes without a
+		// residual never report one, so their history stays empty). A phase
+		// switch — e.g. the coarse→fine grid-sequencing transition, whose
+		// step counter restarts — begins a fresh window so the retained
+		// steps stay monotone and the residuals comparable.
+		if p.Phase != h.histPhase {
+			h.histPhase = p.Phase
+			h.histStart, h.histLen = 0, 0
+		}
+		idx := (h.histStart + h.histLen) % HistoryDepth
+		h.hist[idx] = HistoryPoint{Step: p.Step, Residual: p.Residual}
+		if h.histLen < HistoryDepth {
+			h.histLen++
+		} else {
+			h.histStart = (h.histStart + 1) % HistoryDepth
+		}
+	}
 	h.notifyLocked()
 }
 
@@ -161,11 +231,16 @@ func (h *runHandle) finish(err error) {
 // notifyLocked pushes the current snapshot to every watcher with
 // latest-value semantics: a full buffer is drained and replaced, so
 // watchers never block the solve and never read a stale terminal state.
+// The terminal notification carries the residual history; intermediate
+// ones skip the copy (it would cost an allocation per solver step).
 func (h *runHandle) notifyLocked() {
 	if len(h.watchers) == 0 {
 		return
 	}
 	s := h.snapLocked()
+	if s.State == RunDone {
+		s = h.snapWithHistoryLocked()
+	}
 	for _, ch := range h.watchers {
 		select {
 		case ch <- s:

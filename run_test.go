@@ -68,9 +68,13 @@ func TestSubmitLiveSnapshots(t *testing.T) {
 	if len(seen) < 2 {
 		t.Fatalf("only %d snapshots observed", len(seen))
 	}
+	// The watcher has latest-value semantics, so on a fast solve the
+	// intermediate stepping snapshots may all be replaced before this
+	// goroutine drains them — but every solver-stamped snapshot (including
+	// the terminal one, which always arrives) carries the live step count.
 	lastStep := 0
 	for _, snap := range seen {
-		if snap.State == RunRunning && snap.Solver != "" {
+		if snap.Solver != "" {
 			if snap.Solver != "ns" || snap.Phase != "solve" {
 				t.Fatalf("unexpected solver/phase %q/%q", snap.Solver, snap.Phase)
 			}
@@ -104,6 +108,74 @@ func TestSubmitLiveSnapshots(t *testing.T) {
 	}
 	if len(tail) != 1 || tail[0].State != RunDone {
 		t.Fatalf("late Watch saw %+v", tail)
+	}
+}
+
+// Run snapshots retain a bounded residual history that services can plot
+// without installing a Monitor: chronological, capped at HistoryDepth, and
+// present in the terminal snapshot.
+func TestSnapshotResidualHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NS solve in short mode")
+	}
+	s := NewSession()
+	run := s.Submit(context.Background(), fastNSProblem())
+	if _, err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	hist := run.Snapshot().History()
+	if len(hist) == 0 {
+		t.Fatal("no residual history retained")
+	}
+	if len(hist) > HistoryDepth {
+		t.Fatalf("history length %d exceeds cap %d", len(hist), HistoryDepth)
+	}
+	// fastNSProblem runs 120 steps, so the ring must have wrapped and kept
+	// the most recent window, in chronological order.
+	if len(hist) != HistoryDepth {
+		t.Fatalf("expected a full ring after 120 steps, got %d", len(hist))
+	}
+	for k := 1; k < len(hist); k++ {
+		if hist[k].Step <= hist[k-1].Step {
+			t.Fatalf("history out of order at %d: step %d after %d", k, hist[k].Step, hist[k-1].Step)
+		}
+		if hist[k].Residual <= 0 {
+			t.Fatalf("non-positive residual retained at %d", k)
+		}
+	}
+	if last := hist[len(hist)-1]; last.Step != 120 {
+		t.Errorf("history should end at the final step: got %d", last.Step)
+	}
+}
+
+// A grid-sequenced run restarts its step counter at the coarse→fine phase
+// switch; the history window must restart with it so steps stay monotone
+// and the trend stays comparable.
+func TestSnapshotHistoryAcrossPhases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NS solve in short mode")
+	}
+	s := NewSession()
+	p := fastNSProblem()
+	p.GridSequencing = ToggleOn
+	phases := map[string]bool{}
+	p.Monitor = MonitorFunc(func(pr Progress) { phases[pr.Phase] = true })
+	run := s.Submit(context.Background(), p)
+	if _, err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !phases["coarse"] || !phases["fine"] {
+		t.Fatalf("sequenced solve did not report both phases: %v", phases)
+	}
+	hist := run.Snapshot().History()
+	if len(hist) == 0 {
+		t.Fatal("no residual history retained")
+	}
+	for k := 1; k < len(hist); k++ {
+		if hist[k].Step <= hist[k-1].Step {
+			t.Fatalf("history folded back at %d: step %d after %d (phase switch did not restart the window)",
+				k, hist[k].Step, hist[k-1].Step)
+		}
 	}
 }
 

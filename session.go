@@ -21,13 +21,14 @@ import (
 // watchable view of the solver's progress, and Solve/SolveBatch are thin
 // blocking wrappers over submitted runs.
 type Session struct {
-	stack   *core.Stack
-	chem    GasChemistry
-	quality Quality
-	workers int
-	gamma   float64
-	flux    string
-	gridSeq bool
+	stack    *core.Stack
+	chem     GasChemistry
+	quality  Quality
+	workers  int
+	gamma    float64
+	flux     string
+	timestep string
+	gridSeq  bool
 	// Solve admission (see pool.go): at most `workers` submitted runs
 	// execute concurrently; the rest wait FIFO in admitQueue.
 	admitMu    sync.Mutex
@@ -81,6 +82,16 @@ func WithFlux(name string) Option {
 	return func(s *Session) { s.flux = name }
 }
 
+// WithTimeStepping sets the default finite-volume time integrator
+// ("explicit", "implicit") stamped onto problems whose TimeStepping field is
+// left empty. The names come from the fvm integrator registry (see
+// TimeSteppings); an unknown name fails at solve time with the registered
+// list. Implicit (line-implicit, DPLR-style) stepping converges clustered
+// viscous NS grids in several-fold fewer steps than the explicit default.
+func WithTimeStepping(name string) Option {
+	return func(s *Session) { s.timestep = name }
+}
+
 // WithGridSequencing turns on grid-sequenced NS and Euler shock-shape
 // solves by default: each solve converges on a coarsened grid first and
 // finishes on the fine grid from the interpolated coarse state, which
@@ -115,6 +126,9 @@ func (s *Session) apply(p Problem) Problem {
 	}
 	if p.Flux == "" && s.flux != "" {
 		p.Flux = s.flux
+	}
+	if p.TimeStepping == "" && s.timestep != "" {
+		p.TimeStepping = s.timestep
 	}
 	// Grid sequencing is tri-state: the session default fills only an unset
 	// toggle, so a case can force sequencing off on a session that enables

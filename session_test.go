@@ -241,3 +241,41 @@ func TestSessionUnknownFluxFails(t *testing.T) {
 		t.Fatal("unknown flux kernel accepted")
 	}
 }
+
+func TestSessionTimeSteppingOption(t *testing.T) {
+	s := NewSession(WithTimeStepping("implicit"))
+	if p := s.apply(smallNSProblem()); p.TimeStepping != "implicit" {
+		t.Fatalf("WithTimeStepping not stamped: %q", p.TimeStepping)
+	}
+	// A problem-level integrator wins over the session default.
+	q := smallNSProblem()
+	q.TimeStepping = "explicit"
+	if got := s.apply(q).TimeStepping; got != "explicit" {
+		t.Fatalf("problem time stepping overridden: %q", got)
+	}
+	env, err := s.Solve(context.Background(), smallNSProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.QConvStag <= 0 {
+		t.Fatal("no NS wall heating from the implicit solve")
+	}
+}
+
+func TestSessionUnknownTimeSteppingFails(t *testing.T) {
+	s := NewSession(WithTimeStepping("dual-time-o-matic"))
+	if _, err := s.Solve(context.Background(), smallNSProblem()); err == nil {
+		t.Fatal("unknown time integrator accepted")
+	}
+}
+
+func TestTimeSteppingsList(t *testing.T) {
+	names := TimeSteppings()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	if !found["explicit"] || !found["implicit"] {
+		t.Fatalf("TimeSteppings() = %v, want explicit and implicit", names)
+	}
+}
