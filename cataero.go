@@ -119,6 +119,16 @@ func FluxKernels() []string { return fvm.FluxKernels() }
 // WithTimeStepping ("explicit", "implicit" out of the box).
 func TimeSteppings() []string { return fvm.Integrators() }
 
+// Limiters returns the names of the registered MUSCL slope limiters,
+// ascending — the valid values of Problem.Limiter and WithLimiter
+// ("minmod", "vanalbada").
+func Limiters() []string { return fvm.Limiters() }
+
+// Cycles returns the valid multilevel schedule names — the values of
+// Problem.Cycle and WithCycle: "cascade" (N-level grid sequencing,
+// coarsest-first) and "v" (FAS V-cycles with line-implicit smoothing).
+func Cycles() []string { return fvm.Cycles() }
+
 // CFLRamp tunes the implicit integrator's CFL schedule (see
 // Problem.CFLRamp): start low while the transient establishes the shock,
 // grow geometrically while the residual keeps falling, cap at Max.

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"cataero/internal/fvm"
+)
+
+// benchCmd runs the repository's Solve/Step benchmarks through
+// testing.Benchmark and writes the results as machine-readable JSON
+// (`catsim bench -out BENCH_pr5.json`), so CI can archive the perf
+// trajectory per PR instead of scraping `go test -bench` text output. The
+// cases mirror internal/fvm/bench_test.go via the shared
+// fvm.ReferenceViscousCase configuration: per-step costs of the explicit,
+// viscous and line-implicit paths, and wall-clock solve comparisons of
+// explicit vs single-level implicit vs multilevel implicit at two grid
+// sizes.
+func benchCmd(args []string) int {
+	fs := flag.NewFlagSet("catsim bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_pr5.json", "output path for the JSON results")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: catsim bench [-out results.json]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "catsim bench: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	results, err := runBenchmarks()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catsim bench: %v\n", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catsim bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "catsim bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %d results to %s\n", len(results), *out)
+	return 0
+}
+
+// BenchResult is one benchmark measurement of the `catsim bench` output.
+type BenchResult struct {
+	Name string `json:"name"`
+	// NsPerOp is the wall-clock nanoseconds per operation (one time step
+	// for the Step benchmarks, one converged solve for the Solve ones).
+	NsPerOp float64 `json:"ns_per_op"`
+	// StepsPerOp is the time-step count one solve took (0 for the Step
+	// benchmarks, where the op is the step).
+	StepsPerOp float64 `json:"steps_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op"`
+	BytesOp    int64   `json:"bytes_per_op"`
+	N          int     `json:"n"` // iterations the harness settled on
+}
+
+// benchStep measures one time step of the reference viscous case with the
+// given integrator.
+func benchStep(ni, nj int, ts string) (func(b *testing.B), error) {
+	g, o, err := fvm.ReferenceViscousCase(ni, nj, ts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := fvm.New(g, o)
+	if err != nil {
+		return nil, err
+	}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if r := s.Step(); math.IsNaN(r) {
+				b.Fatal("NaN residual")
+			}
+		}
+	}, nil
+}
+
+// benchSolve measures a full converged solve (fresh solver per op) of the
+// reference viscous case; steps receives the per-solve step count.
+func benchSolve(ni, nj int, ts string, seq *fvm.SequenceOptions, steps *float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, o, err := fvm.ReferenceViscousCase(ni, nj, ts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			o.Progress = func(phase string, step, maxSteps int, residual float64) { n++ }
+			var s *fvm.Solver
+			if seq != nil {
+				s, _, err = fvm.SolveMultilevel(context.Background(), g, o, 6000, 5e-4, *seq)
+			} else {
+				if s, err = fvm.New(g, o); err == nil {
+					_, err = s.RunCtx(context.Background(), 6000, 5e-4)
+				}
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+			*steps = float64(n)
+		}
+	}
+}
+
+// runBenchmarks executes the benchmark suite once and collects the results.
+func runBenchmarks() ([]BenchResult, error) {
+	var out []BenchResult
+	record := func(name string, r testing.BenchmarkResult, steps float64) {
+		out = append(out, BenchResult{
+			Name:       name,
+			NsPerOp:    float64(r.NsPerOp()),
+			StepsPerOp: steps,
+			AllocsOp:   r.AllocsPerOp(),
+			BytesOp:    r.AllocedBytesPerOp(),
+			N:          r.N,
+		})
+		fmt.Printf("%-28s %14.0f ns/op", name, float64(r.NsPerOp()))
+		if steps > 0 {
+			fmt.Printf("  %6.0f steps/op", steps)
+		}
+		fmt.Printf("  %5d allocs/op\n", r.AllocsPerOp())
+	}
+
+	// Per-step cost of the hot paths (the Fig. 9 grid size).
+	for _, c := range []struct {
+		name string
+		ts   string
+	}{
+		{"StepViscousExplicit_20x32", "explicit"},
+		{"StepViscousImplicit_20x32", "implicit"},
+	} {
+		fn, err := benchStep(20, 32, c.ts)
+		if err != nil {
+			return nil, err
+		}
+		record(c.name, testing.Benchmark(fn), 0)
+	}
+
+	// Converged solves: single-level explicit and implicit, and the
+	// multilevel default (3-level cascade, implicit smoothing) at two grid
+	// sizes — the multilevel win grows with resolution.
+	threeLevel := &fvm.SequenceOptions{Levels: 3}
+	var steps float64
+	for _, c := range []struct {
+		name   string
+		ni, nj int
+		ts     string
+		seq    *fvm.SequenceOptions
+	}{
+		{"SolveExplicit_20x32", 20, 32, "explicit", nil},
+		{"SolveImplicit_20x32", 20, 32, "implicit", nil},
+		{"SolveImplicit_40x64", 40, 64, "implicit", nil},
+		{"SolveMultigrid_40x64", 40, 64, "implicit", threeLevel},
+		{"SolveImplicit_80x128", 80, 128, "implicit", nil},
+		{"SolveMultigrid_80x128", 80, 128, "implicit", threeLevel},
+	} {
+		steps = 0
+		r := testing.Benchmark(benchSolve(c.ni, c.nj, c.ts, c.seq, &steps))
+		record(c.name, r, steps)
+	}
+	return out, nil
+}

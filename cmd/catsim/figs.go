@@ -22,14 +22,21 @@ func figsCmd(args []string) int {
 	workers := fs.Int("workers", 0, "concurrent solve bound (0 = GOMAXPROCS)")
 	fluxName := fs.String("flux", "", "finite-volume flux kernel (see 'catsim kernels'; empty = solver default)")
 	timestep := fs.String("timestep", "", "finite-volume time integrator (explicit, implicit; empty = solver default)")
+	limiter := fs.String("limiter", "", "MUSCL slope limiter (minmod, vanalbada; empty = solver default)")
 	gridSeq := fs.Bool("gridseq", false, "grid-sequence the NS and shock-shape solves (coarse first, then fine)")
+	levels := fs.Int("levels", 0, "multilevel grid-level count for NS/shock solves (2 = two-level, 3+ = deeper; implies -gridseq)")
+	cycle := fs.String("cycle", "", "multigrid cycle (cascade, v; implies -gridseq)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "catsim figs: unexpected argument %q\n", fs.Arg(0))
 		return 2
 	}
-	if !checkFlux(*fluxName) || !checkTimeStepping(*timestep) {
+	if !checkFlux(*fluxName) || !checkTimeStepping(*timestep) || !checkLimiter(*limiter) || !checkCycle(*cycle) {
+		return 2
+	}
+	if *levels < 0 {
+		fmt.Fprintln(os.Stderr, "catsim figs: -levels must be non-negative")
 		return 2
 	}
 
@@ -52,13 +59,13 @@ func figsCmd(args []string) int {
 			f.Close()
 		}
 	}
-	code := runFigs(*fig, *quality, *workers, *fluxName, *timestep, *gridSeq)
+	code := runFigs(*fig, *quality, *workers, *fluxName, *timestep, *limiter, *cycle, *levels, *gridSeq)
 	stopProfile()
 	return code
 }
 
 // runFigs executes the requested figures and returns the process exit code.
-func runFigs(fig string, quality, workers int, fluxName, timestep string, gridSeq bool) int {
+func runFigs(fig string, quality, workers int, fluxName, timestep, limiter, cycle string, levels int, gridSeq bool) int {
 	opts := []cataero.Option{cataero.WithQuality(cataero.Quality(quality))}
 	if workers > 0 {
 		opts = append(opts, cataero.WithWorkers(workers))
@@ -68,6 +75,15 @@ func runFigs(fig string, quality, workers int, fluxName, timestep string, gridSe
 	}
 	if timestep != "" {
 		opts = append(opts, cataero.WithTimeStepping(timestep))
+	}
+	if limiter != "" {
+		opts = append(opts, cataero.WithLimiter(limiter))
+	}
+	if cycle != "" {
+		opts = append(opts, cataero.WithCycle(cycle))
+	}
+	if levels > 0 {
+		opts = append(opts, cataero.WithLevels(levels))
 	}
 	if gridSeq {
 		opts = append(opts, cataero.WithGridSequencing(true))

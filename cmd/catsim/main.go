@@ -35,6 +35,8 @@ func main() {
 		code = runCmd(args)
 	case "kernels":
 		code = kernelsCmd(args)
+	case "bench":
+		code = benchCmd(args)
 	case "help":
 		usage(os.Stdout)
 	default:
@@ -52,6 +54,7 @@ commands:
   figs     regenerate the paper's figures (default; bare flags imply it)
   run      solve a declarative JSON case file, optionally with live progress
   kernels  list the registered finite-volume flux kernels
+  bench    run the Solve/Step benchmarks and write machine-readable results
   help     print this message
 
 run 'catsim <command> -h' for the command's flags.
@@ -86,6 +89,16 @@ func checkFlux(name string) bool {
 // checkTimeStepping validates a time-integrator name against the registry.
 func checkTimeStepping(name string) bool {
 	return checkRegistered("time stepping", name, cataero.TimeSteppings())
+}
+
+// checkLimiter validates a MUSCL slope-limiter name against the registry.
+func checkLimiter(name string) bool {
+	return checkRegistered("limiter", name, cataero.Limiters())
+}
+
+// checkCycle validates a multilevel cycle name against the valid list.
+func checkCycle(name string) bool {
+	return checkRegistered("multigrid cycle", name, cataero.Cycles())
 }
 
 func kernelsCmd(args []string) int {

@@ -9,10 +9,10 @@ import (
 )
 
 func TestRunFigsUnknownFigure(t *testing.T) {
-	if code := runFigs("42", 1, 0, "", "", false); code != 2 {
+	if code := runFigs("42", 1, 0, "", "", "", "", 0, false); code != 2 {
 		t.Errorf("unknown figure exit code %d, want 2", code)
 	}
-	if code := runFigs("", 1, 0, "", "", false); code != 2 {
+	if code := runFigs("", 1, 0, "", "", "", "", 0, false); code != 2 {
 		t.Errorf("empty figure list exit code %d, want 2", code)
 	}
 }
@@ -93,5 +93,57 @@ func TestRunCmdRejectsCaseFileFlux(t *testing.T) {
 	}
 	if code := runCmd([]string{path}); code != 2 {
 		t.Errorf("case-file flux exit code %d, want 2", code)
+	}
+}
+
+func TestCheckLimiterAndCycleFailFast(t *testing.T) {
+	if checkLimiter("superbee") {
+		t.Error("unknown limiter accepted")
+	}
+	for _, l := range []string{"", "minmod", "vanalbada"} {
+		if !checkLimiter(l) {
+			t.Errorf("limiter %q rejected", l)
+		}
+	}
+	if checkCycle("w") {
+		t.Error("unknown cycle accepted")
+	}
+	for _, c := range []string{"", "cascade", "v"} {
+		if !checkCycle(c) {
+			t.Errorf("cycle %q rejected", c)
+		}
+	}
+}
+
+// Unknown multilevel flags abort run/figs with a usage error before any
+// solve starts, and negative counts are rejected.
+func TestRunCmdRejectsBadMultilevelFlags(t *testing.T) {
+	if code := runCmd([]string{"testdata/smoke.json", "-cycle", "w"}); code != 2 {
+		t.Errorf("bad cycle exit code %d, want 2", code)
+	}
+	if code := runCmd([]string{"testdata/smoke.json", "-limiter", "superbee"}); code != 2 {
+		t.Errorf("bad limiter exit code %d, want 2", code)
+	}
+	if code := runCmd([]string{"testdata/smoke.json", "-levels", "-3"}); code != 2 {
+		t.Errorf("negative levels exit code %d, want 2", code)
+	}
+	if code := figsCmd([]string{"-fig", "9", "-cycle", "w"}); code != 2 {
+		t.Errorf("figs bad cycle exit code %d, want 2", code)
+	}
+}
+
+// The smoke case solves multilevel end to end through the CLI.
+func TestRunCmdSmokeCaseMultilevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NS solve in short mode")
+	}
+	if code := runCmd([]string{"testdata/smoke.json", "-timestep", "implicit", "-levels", "3"}); code != 0 {
+		t.Errorf("multilevel smoke exit code %d", code)
+	}
+}
+
+func TestBenchCmdRejectsArgs(t *testing.T) {
+	if code := benchCmd([]string{"unexpected"}); code != 2 {
+		t.Errorf("bench arg exit code %d, want 2", code)
 	}
 }

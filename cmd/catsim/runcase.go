@@ -20,6 +20,10 @@ func runCmd(args []string) int {
 	progress := fs.Bool("progress", false, "print a live solver progress/residual ticker")
 	fluxName := fs.String("flux", "", "override the case's flux kernel (see 'catsim kernels')")
 	timestep := fs.String("timestep", "", "override the case's time integrator (explicit, implicit)")
+	limiter := fs.String("limiter", "", "override the case's MUSCL slope limiter (minmod, vanalbada)")
+	levels := fs.Int("levels", 0, "override the case's multilevel grid-level count (2 = two-level, 3+ = deeper)")
+	cycle := fs.String("cycle", "", "override the case's multigrid cycle (cascade, v)")
+	refitEvery := fs.Int("refitevery", 0, "re-fit the outer boundary to the shock locus every N fine steps")
 	workers := fs.Int("workers", 0, "concurrent solve bound (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 	fs.Usage = func() {
@@ -41,7 +45,11 @@ func runCmd(args []string) int {
 			return 2
 		}
 	}
-	if !checkFlux(*fluxName) || !checkTimeStepping(*timestep) {
+	if !checkFlux(*fluxName) || !checkTimeStepping(*timestep) || !checkLimiter(*limiter) || !checkCycle(*cycle) {
+		return 2
+	}
+	if *levels < 0 || *refitEvery < 0 {
+		fmt.Fprintln(os.Stderr, "catsim run: -levels and -refitevery must be non-negative")
 		return 2
 	}
 
@@ -56,9 +64,21 @@ func runCmd(args []string) int {
 	if *timestep != "" {
 		p.TimeStepping = *timestep
 	}
-	// The case file's own flux and integrator fields fail fast too — before
-	// the session builds models or any solve starts.
-	if !checkFlux(p.Flux) || !checkTimeStepping(p.TimeStepping) {
+	if *limiter != "" {
+		p.Limiter = *limiter
+	}
+	if *levels != 0 {
+		p.Levels = *levels
+	}
+	if *cycle != "" {
+		p.Cycle = *cycle
+	}
+	if *refitEvery != 0 {
+		p.RefitEvery = *refitEvery
+	}
+	// The case file's own flux, integrator, limiter and cycle fields fail
+	// fast too — before the session builds models or any solve starts.
+	if !checkFlux(p.Flux) || !checkTimeStepping(p.TimeStepping) || !checkLimiter(p.Limiter) || !checkCycle(p.Cycle) {
 		return 2
 	}
 

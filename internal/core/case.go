@@ -46,8 +46,23 @@ type CaseSpec struct {
 	// CFLRamp tunes the implicit integrator's CFL schedule; omitted fields
 	// take the solver defaults.
 	CFLRamp *CFLRampSpec `json:"cfl_ramp,omitempty"`
+	// Limiter is the MUSCL slope-limiter name ("minmod", "vanalbada");
+	// empty defers to the session or solver default.
+	Limiter string `json:"limiter,omitempty"`
 	// GridSequencing is "" (session default), "on" or "off".
 	GridSequencing string `json:"grid_sequencing,omitempty"`
+	// Levels is the multilevel grid-level count (0 = session default; 2 =
+	// classic two-level; >= 3 = deeper hierarchy). Setting it (or Cycle, or
+	// RefitEvery) turns sequencing on unless grid_sequencing is "off".
+	Levels int `json:"levels,omitempty"`
+	// Cycle is the multilevel schedule name ("cascade", "v").
+	Cycle string `json:"cycle,omitempty"`
+	// SmoothSteps is the V-cycle pre/post smoothing step count (0 = solver
+	// default).
+	SmoothSteps int `json:"smooth_steps,omitempty"`
+	// RefitEvery re-fits the outer boundary to the detected shock locus
+	// every RefitEvery finest-level steps mid-march (0 = off).
+	RefitEvery int `json:"refit_every,omitempty"`
 }
 
 // CFLRampSpec is the case-file form of the implicit integrator's CFL
@@ -206,7 +221,12 @@ func SpecOf(p Problem) (CaseSpec, error) {
 		Flux:           p.Flux,
 		TimeStepping:   p.TimeStepping,
 		CFLRamp:        ramp,
+		Limiter:        p.Limiter,
 		GridSequencing: toggleName(p.GridSequencing),
+		Levels:         p.Levels,
+		Cycle:          p.Cycle,
+		SmoothSteps:    p.SmoothSteps,
+		RefitEvery:     p.RefitEvery,
 	}, nil
 }
 
@@ -225,6 +245,15 @@ func (c CaseSpec) Problem() (Problem, error) {
 	if err != nil {
 		return Problem{}, err
 	}
+	if c.Levels < 0 {
+		return Problem{}, fmt.Errorf("core: levels %d negative", c.Levels)
+	}
+	if c.SmoothSteps < 0 {
+		return Problem{}, fmt.Errorf("core: smooth_steps %d negative", c.SmoothSteps)
+	}
+	if c.RefitEvery < 0 {
+		return Problem{}, fmt.Errorf("core: refit_every %d negative", c.RefitEvery)
+	}
 	p := Problem{
 		Name:      c.Name,
 		Class:     class,
@@ -237,7 +266,12 @@ func (c CaseSpec) Problem() (Problem, error) {
 		NStations: c.NStations, NI: c.NI, NJ: c.NJ, MaxSteps: c.MaxSteps,
 		Flux:           c.Flux,
 		TimeStepping:   c.TimeStepping,
+		Limiter:        c.Limiter,
 		GridSequencing: seq,
+		Levels:         c.Levels,
+		Cycle:          c.Cycle,
+		SmoothSteps:    c.SmoothSteps,
+		RefitEvery:     c.RefitEvery,
 	}
 	if c.CFLRamp != nil {
 		p.CFLRamp = fvm.CFLRamp{Start: c.CFLRamp.Start, Growth: c.CFLRamp.Growth, Max: c.CFLRamp.Max}

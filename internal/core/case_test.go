@@ -26,7 +26,16 @@ func TestProblemJSONRoundTrip(t *testing.T) {
 			TWall: 600, NI: 8, NJ: 14, MaxSteps: 120,
 			Flux: "hllc", TimeStepping: "implicit",
 			CFLRamp:        fvm.CFLRamp{Start: 5, Growth: 1.1, Max: 40},
+			Limiter:        "vanalbada",
 			GridSequencing: ToggleOff,
+		},
+		{
+			Name:  "multilevel viscous",
+			Class: NS, Chemistry: IdealGas,
+			PInf: 5474.9, TInf: 216.65, VInf: 1770,
+			NoseRadius: 0.3, TWall: 600,
+			TimeStepping: "implicit",
+			Levels:       3, Cycle: "v", SmoothSteps: 6, RefitEvery: 50,
 		},
 		{
 			Class: PNS, Chemistry: EquilibriumTitan,
@@ -86,6 +95,9 @@ func TestCaseSpecErrors(t *testing.T) {
 		`{"class":"ns","body":{"kind":"klein-bottle","nose_radius":1},"p_inf":1,"t_inf":1,"v_inf":1}`,
 		`{"class":"ns","grid_sequencing":"maybe","p_inf":1,"t_inf":1,"v_inf":1}`,
 		`{"class":"ns","body":{"kind":"sphere"},"p_inf":1,"t_inf":1,"v_inf":1}`,
+		`{"class":"ns","levels":-2,"p_inf":1,"t_inf":1,"v_inf":1}`,
+		`{"class":"ns","smooth_steps":-1,"p_inf":1,"t_inf":1,"v_inf":1}`,
+		`{"class":"ns","refit_every":-3,"p_inf":1,"t_inf":1,"v_inf":1}`,
 	}
 	for i, s := range bad {
 		var p Problem

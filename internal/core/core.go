@@ -169,12 +169,39 @@ type Problem struct {
 	// integrator.
 	CFLRamp fvm.CFLRamp
 
+	// Limiter selects the MUSCL slope limiter by name for the NS and Euler
+	// shock-shape classes ("minmod", "vanalbada"; empty = session or solver
+	// default). The smooth van Albada limiter lets the implicit CFL ramp
+	// climb past the minmod limit cycle.
+	Limiter string
+
 	// GridSequencing controls grid-sequenced NS and Euler shock-shape
 	// solves (converge on a coarsened grid, then finish on the fine grid
 	// from the interpolated coarse state). The zero value defers to the
 	// session default; ToggleOff disables sequencing even on a session that
-	// enables it.
+	// enables it (including multilevel solves requested via Levels/Cycle).
 	GridSequencing Toggle
+
+	// Levels selects the number of grid levels for multilevel NS and Euler
+	// shock-shape solves (fine level included): 0 defers to the session
+	// default (the classic two-level sequenced solve when sequencing is on),
+	// 2 the two-level solve, 3 or more a deeper hierarchy with levels the
+	// grid cannot reach dropped automatically. Setting Levels (or Cycle, or
+	// RefitEvery) turns sequencing on unless GridSequencing is ToggleOff.
+	Levels int
+
+	// Cycle selects the multilevel schedule ("cascade", "v"; empty = session
+	// or solver default — see the fvm.Cycles list).
+	Cycle string
+
+	// SmoothSteps is the pre/post smoothing step count per V-cycle level
+	// (0 = solver default).
+	SmoothSteps int
+
+	// RefitEvery, when positive, re-fits the outer boundary to the detected
+	// shock locus every RefitEvery steps on the finest level mid-march,
+	// transferring the solution onto the refitted grid.
+	RefitEvery int
 
 	// Standoff optionally places the outer grid boundary as a function of
 	// arc length (Euler shock-shape solves); nil uses the solver default.

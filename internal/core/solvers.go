@@ -15,15 +15,24 @@ import (
 	"cataero/internal/vsl"
 )
 
-// sequenceFor maps the problem-level grid-sequencing toggle onto the FVM
-// sequencing options (solver defaults; the outer boundary is left where the
-// case put it so sequenced and plain solves share a grid). An unresolved
-// ToggleDefault — a problem solved outside a session — means off.
+// sequenceFor maps the problem-level grid-sequencing toggle and multilevel
+// knobs onto the FVM sequencing options (solver defaults otherwise; the
+// outer boundary is left where the case put it so sequenced and plain solves
+// share a grid). Asking for multilevel machinery — Levels, a Cycle, or
+// mid-march refitting — implies sequencing unless GridSequencing is
+// ToggleOff; an unresolved ToggleDefault with no multilevel knobs — a plain
+// problem solved outside a session — means off.
 func sequenceFor(p Problem) *fvm.SequenceOptions {
-	if !p.GridSequencing.Enabled(false) {
+	multi := p.Levels >= 1 || p.Cycle != "" || p.RefitEvery > 0
+	if !p.GridSequencing.Enabled(multi) {
 		return nil
 	}
-	return &fvm.SequenceOptions{}
+	return &fvm.SequenceOptions{
+		Levels:      p.Levels,
+		Cycle:       p.Cycle,
+		SmoothSteps: p.SmoothSteps,
+		RefitEvery:  p.RefitEvery,
+	}
 }
 
 // fvmProgress adapts the problem's Monitor to the finite-volume kernel's
@@ -261,6 +270,7 @@ func (nsSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment, 
 		TWall: p.TWall, MaxSteps: p.MaxSteps,
 		Mu: p.Mu, K: p.K,
 		Flux: p.Flux, TimeStepping: p.TimeStepping, CFLRamp: p.CFLRamp,
+		Limiter:  p.Limiter,
 		Sequence: sequenceFor(p),
 		Pool:     st.Pool(), Progress: fvmProgress(p, "ns"),
 	})
@@ -306,6 +316,7 @@ func ShockShapeWith(ctx context.Context, st *Stack, p Problem) (*ShockEnvelope, 
 		MaxSteps: p.MaxSteps,
 		Standoff: p.Standoff,
 		Flux:     p.Flux, TimeStepping: p.TimeStepping, CFLRamp: p.CFLRamp,
+		Limiter:  p.Limiter,
 		Sequence: sequenceFor(p),
 		Pool:     st.Pool(), Progress: fvmProgress(p, "euler"),
 	})

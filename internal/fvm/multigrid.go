@@ -1,0 +1,688 @@
+package fvm
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"cataero/internal/grid"
+)
+
+// DefaultCycle is the multilevel schedule used when SequenceOptions.Cycle is
+// empty.
+const DefaultCycle = "cascade"
+
+// Cycles returns the valid multilevel schedule names
+// (SequenceOptions.Cycle): "cascade" converges the hierarchy coarsest-first
+// and injects downward (N-level grid sequencing); "v" runs FAS V-cycles —
+// pre-smooth, restrict the state conservatively, relax the defect-corrected
+// coarse problem, prolongate the correction, post-smooth — after a cascade
+// initialization.
+func Cycles() []string { return []string{"cascade", "v"} }
+
+// SolveMultilevel runs a multilevel solve to steady state: a level hierarchy
+// built from chained grid.Coarsen calls (each level with its own cached
+// metrics and a Solver sharing Options.Pool), marched by the configured
+// cycle. Unreachable levels (cell counts not divisible by the factor, or
+// below the MUSCL floor) are dropped. The finest level stops at the same
+// absolute residual a freestream-started fine solve would reach after
+// dropping by dropTol; with RefitEvery set, the finest march periodically
+// re-fits the outer boundary to the detected shock locus and transfers the
+// solution onto the refitted grid. Progress phases are labeled "level0"
+// (finest) through "levelN" (coarsest). Returns the finest solver (which the
+// caller owns) and its final residual.
+func SolveMultilevel(ctx context.Context, g *grid.Grid2D, o Options, maxSteps int, dropTol float64, sq SequenceOptions) (*Solver, float64, error) {
+	if maxSteps <= 0 {
+		maxSteps = 2000
+	}
+	sq = sq.withDefaults(maxSteps)
+	if sq.Levels == 0 {
+		sq.Levels = 2
+	}
+	if sq.SmoothSteps == 0 {
+		sq.SmoothSteps = 4
+	}
+	if sq.Cycle == "" {
+		sq.Cycle = DefaultCycle
+	}
+	if err := validateMultilevel(sq); err != nil {
+		return nil, 0, err
+	}
+
+	// Build the grid hierarchy by chained coarsening, dropping levels the
+	// grid cannot reach.
+	grids := []*grid.Grid2D{g}
+	for len(grids) < sq.Levels {
+		cg, err := grids[len(grids)-1].Coarsen(sq.Coarsen)
+		if err != nil {
+			break
+		}
+		grids = append(grids, cg)
+	}
+
+	m := &multilevel{o: o, sq: sq, maxSteps: maxSteps, dropTol: dropTol}
+	solvers := make([]*Solver, len(grids))
+	for l, lg := range grids {
+		s, err := New(lg, o)
+		if err != nil {
+			for _, built := range solvers[:l] {
+				built.Close()
+			}
+			return nil, 0, err
+		}
+		s.phase = fmt.Sprintf("level%d", l)
+		solvers[l] = s
+	}
+	m.solvers = solvers
+	m.steps = make([]int, len(solvers))
+	defer func() {
+		for _, s := range m.solvers[1:] {
+			s.Close()
+		}
+	}()
+
+	res, err := m.run(ctx)
+	if err != nil {
+		m.solvers[0].Close()
+		return nil, 0, err
+	}
+	return m.solvers[0], res, nil
+}
+
+// validateMultilevel fail-fast checks the multilevel knobs.
+func validateMultilevel(sq SequenceOptions) error {
+	if sq.Levels < 1 {
+		return fmt.Errorf("fvm: multilevel solve: Levels %d below 1", sq.Levels)
+	}
+	if sq.Cycle != "cascade" && sq.Cycle != "v" {
+		return fmt.Errorf("fvm: multilevel solve: no cycle %q (have %v)", sq.Cycle, Cycles())
+	}
+	if sq.SmoothSteps < 0 {
+		return fmt.Errorf("fvm: multilevel solve: SmoothSteps %d negative", sq.SmoothSteps)
+	}
+	if sq.RefitEvery < 0 {
+		return fmt.Errorf("fvm: multilevel solve: RefitEvery %d negative", sq.RefitEvery)
+	}
+	return nil
+}
+
+// cflCarrier is the optional integrator hook a multilevel transition uses to
+// seed a finer level's CFL schedule from the coarser level that just
+// converged (see implicitStepper.carryCFL).
+type cflCarrier interface{ carryCFL(from Stepper) }
+
+// rampResetter is the optional integrator hook a mid-march refit uses to
+// re-latch convergence bookkeeping after the grid (and thus the residual
+// landscape) changes under the integrator.
+type rampResetter interface{ resetRamp() }
+
+// multilevel is the state of one multilevel solve: the per-level solvers
+// (index 0 = finest), per-level step counters for progress reporting, and
+// the V-cycle scratch (restriction volumes and the pre-correction coarse
+// states).
+type multilevel struct {
+	o        Options
+	sq       SequenceOptions
+	maxSteps int
+	dropTol  float64
+
+	solvers   []*Solver
+	steps     []int // per-level completed steps (progress phase counters)
+	fineSteps int   // finest-level steps consumed (the solve budget)
+	refits    int   // mid-march refits performed (capped at maxRefits per solve)
+
+	saved [][]Cons // per-level pre-correction coarse state (V-cycle)
+}
+
+// run executes the configured cycle and returns the finest residual.
+func (m *multilevel) run(ctx context.Context) (float64, error) {
+	target, err := m.cascade(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if m.sq.Cycle == "v" && len(m.solvers) > 1 {
+		return m.vcycles(ctx, target)
+	}
+	return m.marchFinest(ctx, target, -1)
+}
+
+// levelTol is the per-level relative drop tolerance of the cascade,
+// interpolated geometrically between CoarseDropTol on the coarsest level
+// (which only has to establish the shock from freestream) and the fine
+// dropTol. Driving the intermediate levels well past CoarseDropTol pays off:
+// their steps cost a fraction of a fine step (a quarter per halving), and
+// every decade they converge is a decade the finest level does not have to
+// grind at full resolution.
+func (m *multilevel) levelTol(l int) float64 {
+	last := len(m.solvers) - 1
+	if l >= last {
+		return m.sq.CoarseDropTol
+	}
+	t := float64(l) / float64(last)
+	return math.Exp(t*math.Log(m.sq.CoarseDropTol) + (1-t)*math.Log(m.dropTol))
+}
+
+// cascade converges the hierarchy coarsest-first, injecting each converged
+// level onto the next finer one (optionally re-fitting the finer outer
+// boundary to the coarser shock locus), and returns the finest level's
+// absolute residual target. The finest level itself is not marched — run
+// finishes it — except for the single calibration step that latches the
+// target scale.
+func (m *multilevel) cascade(ctx context.Context) (float64, error) {
+	L := len(m.solvers)
+	for l := L - 1; l >= 1; l-- {
+		s := m.solvers[l]
+		if _, err := m.relax(ctx, l, m.sq.CoarseMaxSteps, m.levelTol(l)); err != nil {
+			return 0, err
+		}
+		finer := m.solvers[l-1]
+		if m.sq.Refit {
+			ng, err := refitToShock(s, finer.G, m.sq.RefitMargin)
+			if err != nil {
+				return 0, fmt.Errorf("fvm: multilevel solve: refit level %d to level %d shock locus: %w", l-1, l, err)
+			}
+			if err := finer.RefitTo(ng); err != nil {
+				return 0, err
+			}
+		}
+		if l-1 == 0 {
+			// Calibrate the finest absolute target from the freestream state
+			// before injecting, exactly like the two-level path: one
+			// freestream-started step gives the residual scale a plain fine
+			// solve would have latched onto.
+			r0 := finer.Step()
+			if math.IsNaN(r0) || r0 <= 0 {
+				return 0, errNaNCalibration
+			}
+			finer.injectFrom(s)
+			if cc, ok := finer.stepper.(cflCarrier); ok {
+				cc.carryCFL(s.stepper)
+			}
+			return r0 * m.dropTol, nil
+		}
+		finer.injectFrom(s)
+		if cc, ok := finer.stepper.(cflCarrier); ok {
+			cc.carryCFL(s.stepper)
+		}
+	}
+	// Single reachable level: latch the target from the first real step.
+	// The step counts toward the fine budget; its residual cannot be below
+	// the target it just defined (dropTol < 1), so marchFinest simply
+	// continues from the next step.
+	fine := m.solvers[0]
+	r0 := fine.Step()
+	m.fineSteps++
+	m.steps[0]++
+	m.progress(0, r0)
+	if math.IsNaN(r0) || r0 <= 0 {
+		return 0, errNaNCalibration
+	}
+	return r0 * m.dropTol, nil
+}
+
+// relax marches level l until its residual drops by tol relative to the
+// level's first-step residual, bounded by budget steps.
+func (m *multilevel) relax(ctx context.Context, l, budget int, tol float64) (float64, error) {
+	s := m.solvers[l]
+	first := -1.0
+	res := 0.0
+	for n := 0; n < budget; n++ {
+		if n%16 == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
+		res = s.Step()
+		m.steps[l]++
+		m.progress(l, res)
+		if math.IsNaN(res) {
+			return res, fmt.Errorf("fvm: multilevel solve: residual NaN on level %d step %d", l, m.steps[l])
+		}
+		if first < 0 && res > 0 {
+			first = res
+		}
+		if first > 0 && res < first*tol {
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// maxRefits bounds the mid-march refits of one solve: the first one or two
+// do the shrink-wrapping; further locus re-detections only jitter by a cell
+// and would keep perturbing the march.
+const maxRefits = 3
+
+// refitStallOut ends a refit-mode march that has gone this many fine steps
+// without improving its best residual by refitStallDrop: a refitted grid's
+// limit-cycle floor can sit just above the freestream-calibrated absolute
+// target (its shock-layer cells are smaller, so the volume-normalized floor
+// is higher), and grinding thousands of steps at the floor converges
+// nothing further.
+const (
+	refitStallOut  = 120
+	refitStallDrop = 0.99
+)
+
+// marchFinest runs the finest level to the absolute target, re-fitting the
+// grid every RefitEvery steps when configured. lastRes is the residual of a
+// step already taken by the caller (-1 when none).
+func (m *multilevel) marchFinest(ctx context.Context, target, lastRes float64) (float64, error) {
+	s := m.solvers[0]
+	res := lastRes
+	if res >= 0 && res < target {
+		return res, nil
+	}
+	sinceRefit := 0
+	best := math.Inf(1)
+	stalled := 0
+	for m.fineSteps < m.maxSteps {
+		if m.fineSteps%16 == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
+		res = s.Step()
+		m.fineSteps++
+		m.steps[0]++
+		sinceRefit++
+		m.progress(0, res)
+		if math.IsNaN(res) {
+			return res, fmt.Errorf("fvm: multilevel solve: residual NaN at fine step %d", m.fineSteps)
+		}
+		if res < target {
+			return res, nil
+		}
+		if m.sq.RefitEvery > 0 {
+			if res < refitStallDrop*best {
+				best = res
+				stalled = 0
+			} else if stalled++; stalled >= refitStallOut {
+				// Converged to the refitted grid's own floor.
+				return res, nil
+			}
+			if m.refits < maxRefits && sinceRefit >= m.sq.RefitEvery && m.fineSteps < m.maxSteps {
+				did, err := m.refitFinest()
+				if err != nil {
+					return res, err
+				}
+				if did {
+					m.refits++
+					best, stalled = math.Inf(1), 0
+				}
+				sinceRefit = 0
+			}
+		}
+	}
+	return res, nil
+}
+
+// vcycles runs FAS V-cycles until the finest residual reaches the target or
+// the fine-step budget is exhausted, with the same mid-march refitting as
+// the cascade march.
+func (m *multilevel) vcycles(ctx context.Context, target float64) (float64, error) {
+	m.saved = make([][]Cons, len(m.solvers))
+	for l := 1; l < len(m.solvers); l++ {
+		s := m.solvers[l]
+		m.saved[l] = make([]Cons, s.ni*s.nj)
+		if s.forcing == nil {
+			s.forcing = make([]Cons, s.ni*s.nj)
+		}
+	}
+	// The last measured fine residual, seeded from the cascade's calibration
+	// step (target = r0 * dropTol), so even a budget too small for one full
+	// cycle reports a real value instead of a sentinel.
+	res := target / m.dropTol
+	sinceRefit := 0
+	best := math.Inf(1)
+	stalled := 0
+	for m.fineSteps < m.maxSteps {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		r, err := m.vcycle(ctx, 0)
+		if err != nil {
+			return r, err
+		}
+		// A cycle whose finest smoothing took no steps (budget exhausted
+		// mid-cycle) measures nothing: keep the last real residual instead
+		// of mistaking the sentinel for convergence.
+		if r < 0 {
+			continue
+		}
+		res = r
+		if res < target {
+			return res, nil
+		}
+		// The coarse-grid corrections stop paying once only high-frequency
+		// fine-grid error is left (injection prolongation re-seeds a little
+		// of it every cycle): when the cycles stop making new lows, finish
+		// with pure fine-level relaxation instead of cycling the budget away.
+		if res < 0.95*best {
+			best = res
+			stalled = 0
+		} else if stalled++; stalled >= 3 {
+			return m.marchFinest(ctx, target, res)
+		}
+		sinceRefit += 2 * m.sq.SmoothSteps
+		if m.sq.RefitEvery > 0 && m.refits < maxRefits && sinceRefit >= m.sq.RefitEvery && m.fineSteps < m.maxSteps {
+			did, err := m.refitFinest()
+			if err != nil {
+				return res, err
+			}
+			if did {
+				m.refits++
+				best, stalled = math.Inf(1), 0
+			}
+			sinceRefit = 0
+		}
+	}
+	return res, nil
+}
+
+// vcycle recursively descends one V from level l: pre-smooth, restrict the
+// state and install the FAS defect correction on the next coarser level,
+// recurse, prolongate the coarse correction, post-smooth. Returns the last
+// smoothing residual of level l.
+func (m *multilevel) vcycle(ctx context.Context, l int) (float64, error) {
+	s := m.solvers[l]
+	if l == len(m.solvers)-1 {
+		// Coarsest level: relax harder — it is nearly free and anchors the
+		// long-wavelength error of the whole hierarchy.
+		return m.smooth(ctx, l, 4*m.sq.SmoothSteps)
+	}
+	pre, err := m.smooth(ctx, l, m.sq.SmoothSteps)
+	if err != nil {
+		return pre, err
+	}
+	c := m.solvers[l+1]
+	m.restrictFAS(s, c)
+	copy(m.saved[l+1], c.U)
+	if _, err := m.vcycle(ctx, l+1); err != nil {
+		return 0, err
+	}
+	s.correctFrom(c, m.saved[l+1])
+	post, err := m.smooth(ctx, l, m.sq.SmoothSteps)
+	if err != nil || post >= 0 {
+		return post, err
+	}
+	// Budget died between the smoothing sweeps: the pre-smooth residual is
+	// the last real measurement of this level.
+	return pre, nil
+}
+
+// smooth advances level l by n time steps and returns the last residual, or
+// -1 when it could not take a single step (finest-level budget exhausted) —
+// a sentinel callers must not compare against a convergence target.
+func (m *multilevel) smooth(ctx context.Context, l, n int) (float64, error) {
+	s := m.solvers[l]
+	res := -1.0
+	for k := 0; k < n; k++ {
+		if k%16 == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
+		if l == 0 && m.fineSteps >= m.maxSteps {
+			return res, nil
+		}
+		res = s.Step()
+		m.steps[l]++
+		if l == 0 {
+			m.fineSteps++
+		}
+		m.progress(l, res)
+		if math.IsNaN(res) {
+			return res, fmt.Errorf("fvm: multilevel solve: residual NaN on level %d step %d", l, m.steps[l])
+		}
+	}
+	return res, nil
+}
+
+// progress reports a level's step to the configured Progress callback.
+func (m *multilevel) progress(l int, res float64) {
+	if m.o.Progress == nil {
+		return
+	}
+	budget := m.sq.CoarseMaxSteps
+	if l == 0 {
+		budget = m.maxSteps
+	}
+	m.o.Progress(m.solvers[l].phase, m.steps[l], budget, res)
+}
+
+// restrictFAS restricts the fine state onto the coarse level and installs
+// the FAS defect correction: forcing = R_H(restrict u_h) - restrict(R_h(u_h)),
+// so the coarse level's effective residual starts at the restricted fine
+// residual and its fixed point maps back onto the fine solution. Both
+// residual evaluations see their own level's forcing (nil on the finest), so
+// the construction telescopes down a deeper hierarchy.
+func (m *multilevel) restrictFAS(f, c *Solver) {
+	f.updatePrimitives()
+	f.computeResidual()
+	restrictState(f, c)
+	// Aggregate the fine (effective) residuals over the same index partition
+	// the state restriction used.
+	for k := range c.forcing {
+		c.forcing[k] = Cons{}
+	}
+	for i := 0; i < f.ni; i++ {
+		ic := i * c.ni / f.ni
+		for j := 0; j < f.nj; j++ {
+			jc := j * c.nj / f.nj
+			kc := c.idx(ic, jc)
+			for cc := 0; cc < 4; cc++ {
+				c.forcing[kc][cc] -= f.res[f.idx(i, j)][cc]
+			}
+		}
+	}
+	// Raw coarse residual at the restricted state (forcing must not apply to
+	// its own construction).
+	fc := c.forcing
+	c.forcing = nil
+	c.updatePrimitives()
+	c.computeResidual()
+	c.forcing = fc
+	for k := range c.forcing {
+		for cc := 0; cc < 4; cc++ {
+			c.forcing[k][cc] += c.res[k][cc]
+		}
+	}
+}
+
+// restrictState sets the coarse solver's conserved field to the
+// volume-weighted average of the fine cells in each coarse cell's index
+// partition (fine cell i maps to coarse cell i*cni/fni, likewise j). The
+// averaging is conservative over the partition: the total conserved content
+// computed with the agglomerated partition volumes equals the fine total to
+// roundoff.
+func restrictState(f, c *Solver) {
+	acc := c.u0 // stage storage doubles as the accumulator between steps
+	vol := c.dt // likewise the local-time-step array (rebuilt every step)
+	for k := range acc {
+		acc[k] = Cons{}
+		vol[k] = 0
+	}
+	fmet := f.met
+	for i := 0; i < f.ni; i++ {
+		ic := i * c.ni / f.ni
+		for j := 0; j < f.nj; j++ {
+			jc := j * c.nj / f.nj
+			kc := c.idx(ic, jc)
+			kf := f.idx(i, j)
+			v := fmet.Vol[kf]
+			for cc := 0; cc < 4; cc++ {
+				acc[kc][cc] += v * f.U[kf][cc]
+			}
+			vol[kc] += v
+		}
+	}
+	for k := range acc {
+		if vol[k] <= 0 {
+			continue
+		}
+		for cc := 0; cc < 4; cc++ {
+			c.U[k][cc] = acc[k][cc] / vol[k]
+		}
+	}
+}
+
+// correctFrom applies the prolongated coarse-grid correction
+// U_h += P(U_H - saved) by the same nearest-cell injection the cascade uses,
+// skipping any fine cell the raw correction would drive out of the physical
+// state space (negative density or internal energy) — the next smoothing
+// sweeps repair those cells instead.
+func (s *Solver) correctFrom(c *Solver, saved []Cons) {
+	for i := 0; i < s.ni; i++ {
+		ic := i * c.ni / s.ni
+		if ic > c.ni-1 {
+			ic = c.ni - 1
+		}
+		for j := 0; j < s.nj; j++ {
+			jc := j * c.nj / s.nj
+			if jc > c.nj-1 {
+				jc = c.nj - 1
+			}
+			kc := c.idx(ic, jc)
+			k := s.idx(i, j)
+			var cand Cons
+			for cc := 0; cc < 4; cc++ {
+				cand[cc] = s.U[k][cc] + c.U[kc][cc] - saved[kc][cc]
+			}
+			if s.physicalState(cand) {
+				s.U[k] = cand
+			}
+		}
+	}
+}
+
+// refitFinest re-detects the shock locus on the finest level, re-fits the
+// outer boundary with the configured margin and transfers the solution onto
+// the refitted grid, reporting whether a refit actually happened. A refit
+// that would move the boundary by less than 5% everywhere is skipped — the
+// grid has already shrink-wrapped the shock, and locus re-detection only
+// jitters by a cell.
+func (m *multilevel) refitFinest() (bool, error) {
+	s := m.solvers[0]
+	ng, err := refitToShock(s, s.G, m.sq.RefitMargin)
+	if err != nil {
+		return false, fmt.Errorf("fvm: multilevel solve: mid-march refit: %w", err)
+	}
+	moved := 0.0
+	for i := 0; i <= s.ni; i++ {
+		d0, d1 := s.G.WallDistance(i), ng.WallDistance(i)
+		if d0 > 0 {
+			if rel := math.Abs(d1-d0) / d0; rel > moved {
+				moved = rel
+			}
+		}
+	}
+	if moved < 0.05 {
+		return false, nil
+	}
+	if err := s.RefitTo(ng); err != nil {
+		return false, err
+	}
+	if rr, ok := s.stepper.(rampResetter); ok {
+		rr.resetRamp()
+	}
+	// The coarse hierarchy must track the finest geometry for the V-cycle's
+	// restriction to stay meaningful; rebuild it from the refitted grid.
+	if m.sq.Cycle == "v" && len(m.solvers) > 1 {
+		g := s.G
+		for l := 1; l < len(m.solvers); l++ {
+			cg, err := g.Coarsen(m.sq.Coarsen)
+			if err != nil {
+				// The refitted grid lost a level (cannot happen with equal
+				// cell counts, but stay defensive): drop the tail.
+				m.closeTail(l)
+				break
+			}
+			old := m.solvers[l]
+			ns, err := New(cg, m.o)
+			if err != nil {
+				return true, err
+			}
+			ns.phase = old.phase
+			ns.forcing = make([]Cons, ns.ni*ns.nj)
+			copy(ns.U, old.U)
+			old.Close()
+			m.solvers[l] = ns
+			g = cg
+		}
+	}
+	return true, nil
+}
+
+// closeTail closes and drops levels l.. of the hierarchy.
+func (m *multilevel) closeTail(l int) {
+	for _, s := range m.solvers[l:] {
+		s.Close()
+	}
+	m.solvers = m.solvers[:l]
+	m.steps = m.steps[:l]
+	if m.saved != nil {
+		m.saved = m.saved[:l]
+	}
+}
+
+// RefitTo moves the solver onto a re-fitted grid with identical cell counts
+// (same body and wall, new outer-boundary standoff), transferring the
+// conserved field by linear interpolation in wall-normal distance along each
+// i-line: the mid-march shock-refitting transfer. New cell centers outside
+// the old line's span clamp to its end states.
+func (s *Solver) RefitTo(ng *grid.Grid2D) error {
+	if ng.NI != s.ni || ng.NJ != s.nj {
+		return fmt.Errorf("fvm: RefitTo needs matching cell counts, got %dx%d want %dx%d", ng.NI, ng.NJ, s.ni, s.nj)
+	}
+	nm := ng.Metrics()
+	nj := s.nj
+	dOld := make([]float64, nj)
+	uOld := make([]Cons, nj)
+	for i := 0; i < s.ni; i++ {
+		// Wall midpoint of the i-line (identical on both grids: Refit keeps
+		// the wall nodes).
+		xw := 0.5 * (s.G.X[i][0] + s.G.X[i+1][0])
+		yw := 0.5 * (s.G.Y[i][0] + s.G.Y[i+1][0])
+		for j := 0; j < nj; j++ {
+			k := s.idx(i, j)
+			dOld[j] = math.Hypot(s.met.Cx[k]-xw, s.met.Cy[k]-yw)
+			uOld[j] = s.U[k]
+		}
+		for j := 0; j < nj; j++ {
+			k := s.idx(i, j)
+			d := math.Hypot(nm.Cx[k]-xw, nm.Cy[k]-yw)
+			s.U[k] = interpCons(dOld, uOld, d)
+		}
+	}
+	s.G = ng
+	s.met = nm
+	return nil
+}
+
+// interpCons linearly interpolates a conserved-state profile at distance d,
+// clamping outside the sample span.
+func interpCons(ds []float64, us []Cons, d float64) Cons {
+	n := len(ds)
+	if d <= ds[0] {
+		return us[0]
+	}
+	if d >= ds[n-1] {
+		return us[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if ds[mid] <= d {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (d - ds[lo]) / (ds[hi] - ds[lo])
+	var out Cons
+	for c := 0; c < 4; c++ {
+		out[c] = us[lo][c] + t*(us[hi][c]-us[lo][c])
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package fvm
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+// A multilevel cascade must land on the same physics as a fine-grid-only
+// solve, at every depth and with the V-cycle schedule.
+func TestSolveMultilevelMatchesFine(t *testing.T) {
+	g, o := seqCase(t)
+	fine, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fine.Close()
+	if _, err := fine.Run(4000, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	qf := fine.Primitive(0, 0)
+	xf, _ := fine.ShockLocus(2)
+	for _, sq := range []SequenceOptions{
+		{Levels: 3},
+		{Levels: 3, Cycle: "v"},
+		{Levels: 2, Cycle: "cascade"},
+	} {
+		ml, res, err := SolveMultilevel(context.Background(), g, o, 4000, 1e-3, sq)
+		if err != nil {
+			t.Fatalf("levels=%d cycle=%q: %v", sq.Levels, sq.Cycle, err)
+		}
+		if math.IsNaN(res) || res <= 0 {
+			t.Fatalf("levels=%d cycle=%q: residual %g", sq.Levels, sq.Cycle, res)
+		}
+		qs := ml.Primitive(0, 0)
+		if math.Abs(qs.P-qf.P)/qf.P > 0.05 {
+			t.Errorf("levels=%d cycle=%q: stagnation pressure %g vs fine %g", sq.Levels, sq.Cycle, qs.P, qf.P)
+		}
+		xs, _ := ml.ShockLocus(2)
+		if math.Abs(xs[0]-xf[0]) > 0.06 {
+			t.Errorf("levels=%d cycle=%q: standoff %g vs fine %g", sq.Levels, sq.Cycle, -xs[0], -xf[0])
+		}
+		ml.Close()
+	}
+}
+
+// The multilevel driver reports per-level phases level0 (finest) .. levelN,
+// and unreachable levels are dropped instead of failing the solve: a 16x24
+// grid halves to 8x12 and 4x6 but no further, so Levels=5 runs 3 levels.
+func TestSolveMultilevelPhasesAndAutoDrop(t *testing.T) {
+	g, o := seqCase(t)
+	phases := map[string]bool{}
+	o.Progress = func(phase string, step, maxSteps int, residual float64) { phases[phase] = true }
+	s, _, err := SolveMultilevel(context.Background(), g, o, 4000, 1e-3, SequenceOptions{Levels: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, want := range []string{"level0", "level1", "level2"} {
+		if !phases[want] {
+			t.Errorf("phase %q never reported (got %v)", want, phases)
+		}
+	}
+	if phases["level3"] || phases["level4"] {
+		t.Errorf("unreachable level phases reported: %v", phases)
+	}
+}
+
+// SolveSequenced with multilevel knobs routes through the multilevel driver;
+// with the legacy options it must keep the two-level "coarse"/"fine" phases
+// unchanged.
+func TestSolveSequencedDispatch(t *testing.T) {
+	g, o := seqCase(t)
+	phases := map[string]bool{}
+	o.Progress = func(phase string, step, maxSteps int, residual float64) { phases[phase] = true }
+	s, _, err := SolveSequenced(context.Background(), g, o, 4000, 1e-3, SequenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if !phases["coarse"] || !phases["fine"] || phases["level0"] {
+		t.Errorf("legacy sequenced phases %v, want coarse+fine only", phases)
+	}
+	phases = map[string]bool{}
+	s, _, err = SolveSequenced(context.Background(), g, o, 4000, 1e-3, SequenceOptions{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if !phases["level0"] || !phases["level2"] || phases["coarse"] {
+		t.Errorf("multilevel phases %v, want level0..level2", phases)
+	}
+}
+
+// Unknown cycles and negative knobs fail fast with descriptive errors.
+func TestSolveMultilevelValidation(t *testing.T) {
+	g, o := seqCase(t)
+	if _, _, err := SolveMultilevel(context.Background(), g, o, 100, 1e-3,
+		SequenceOptions{Cycle: "w"}); err == nil || !strings.Contains(err.Error(), "cascade") {
+		t.Errorf("unknown cycle error %v, want the valid list", err)
+	}
+	if _, _, err := SolveMultilevel(context.Background(), g, o, 100, 1e-3,
+		SequenceOptions{Levels: -1, Cycle: "v"}); err == nil {
+		t.Error("negative Levels accepted")
+	}
+	if _, _, err := SolveMultilevel(context.Background(), g, o, 100, 1e-3,
+		SequenceOptions{SmoothSteps: -2, Cycle: "v"}); err == nil {
+		t.Error("negative SmoothSteps accepted")
+	}
+	if _, _, err := SolveMultilevel(context.Background(), g, o, 100, 1e-3,
+		SequenceOptions{RefitEvery: -5}); err == nil {
+		t.Error("negative RefitEvery accepted")
+	}
+}
+
+// Conservative restriction: the volume-weighted average over the index
+// partition preserves the total conserved content — computed with the
+// agglomerated partition volumes — to roundoff, for an arbitrary
+// manufactured field.
+func TestRestrictStateConservation(t *testing.T) {
+	g, o := seqCase(t)
+	fine, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fine.Close()
+	cg, err := g.Coarsen(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := New(cg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coarse.Close()
+	// Manufactured field: smooth but thoroughly non-uniform.
+	for i := 0; i < fine.ni; i++ {
+		for j := 0; j < fine.nj; j++ {
+			k := fine.idx(i, j)
+			x := float64(i) / float64(fine.ni)
+			y := float64(j) / float64(fine.nj)
+			fine.U[k] = Cons{
+				1 + 0.5*math.Sin(7*x)*math.Cos(3*y),
+				200 * (x - 0.5) * y,
+				-150 * y * (1 - x),
+				2e5 * (1 + 0.3*x*y),
+			}
+		}
+	}
+	restrictState(fine, coarse)
+	// Fine totals, and coarse totals over the agglomerated partition
+	// volumes.
+	var fineTot, coarseTot Cons
+	aggVol := make([]float64, coarse.ni*coarse.nj)
+	for i := 0; i < fine.ni; i++ {
+		ic := i * coarse.ni / fine.ni
+		for j := 0; j < fine.nj; j++ {
+			jc := j * coarse.nj / fine.nj
+			k := fine.idx(i, j)
+			v := fine.met.Vol[k]
+			aggVol[coarse.idx(ic, jc)] += v
+			for c := 0; c < 4; c++ {
+				fineTot[c] += v * fine.U[k][c]
+			}
+		}
+	}
+	for k := range aggVol {
+		for c := 0; c < 4; c++ {
+			coarseTot[c] += aggVol[k] * coarse.U[k][c]
+		}
+	}
+	for c := 0; c < 4; c++ {
+		if rel := math.Abs(coarseTot[c]-fineTot[c]) / math.Max(math.Abs(fineTot[c]), 1e-300); rel > 1e-12 {
+			t.Errorf("component %d: restricted total %g vs fine %g (rel %g)", c, coarseTot[c], fineTot[c], rel)
+		}
+	}
+}
+
+// Mid-march refit transfer: a march that re-fits the grid onto the shock
+// locus and transfers the solution must land on the same wall pressures a
+// freestream-started solve on the final (refitted) grid reaches — within 1%
+// on the M6 hemisphere case. A single-worker pool keeps the comparison
+// deterministic.
+func TestRefitTransferWallPressure(t *testing.T) {
+	g, o := seqCase(t)
+	pool := NewPool(1)
+	defer pool.Close()
+	o.Pool = pool
+	o.TimeStepping = "implicit"
+	ml, _, err := SolveMultilevel(context.Background(), g, o, 4000, 1e-3,
+		SequenceOptions{Levels: 2, RefitEvery: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ml.Close()
+	if ml.G == g {
+		t.Fatal("mid-march refit never replaced the grid")
+	}
+	if d, d0 := ml.G.WallDistance(0), g.WallDistance(0); d >= d0 {
+		t.Errorf("refit outer boundary %g not inside original %g", d, d0)
+	}
+	// From-scratch reference on the refit-final grid.
+	ref, err := New(ml.G, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if _, err := ref.Run(4000, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ml.ni; i++ {
+		a := ref.Primitive(i, 0).P
+		b := ml.Primitive(i, 0).P
+		if d := math.Abs(b-a) / a; d > 0.01 {
+			t.Errorf("wall pressure station %d: refit-transfer %g vs from-scratch %g (%.2f%%)", i, b, a, 100*d)
+		}
+	}
+}
+
+// RefitTo transfers an already-converged field onto a re-fitted grid without
+// disturbing the wall row: the clustered wall cells are far inside the old
+// profile span, so the interpolated transfer reproduces them nearly exactly.
+func TestRefitToTransfersWallRow(t *testing.T) {
+	g, o := seqCase(t)
+	s, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(4000, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	wall := s.WallPressure()
+	ng, err := refitToShock(s, s.G, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RefitTo(ng); err != nil {
+		t.Fatal(err)
+	}
+	if s.G != ng {
+		t.Fatal("RefitTo did not swap the grid")
+	}
+	for i, p0 := range wall {
+		if p := s.Primitive(i, 0).P; math.Abs(p-p0)/p0 > 0.02 {
+			t.Errorf("wall pressure station %d moved %g -> %g across the transfer", i, p0, p)
+		}
+	}
+	// Mismatched cell counts are rejected.
+	cg, err := s.G.Coarsen(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RefitTo(cg); err == nil {
+		t.Error("RefitTo accepted a grid with different cell counts")
+	}
+}
+
+// A V-cycle solve that exhausts its fine-step budget must report the last
+// measured residual, not converge-by-sentinel: with a budget too small to
+// converge, the returned residual stays well above the drop target.
+func TestVCycleBudgetExhaustionNotConverged(t *testing.T) {
+	g, o := seqCase(t)
+	s, res, err := SolveMultilevel(context.Background(), g, o, 30, 1e-9,
+		SequenceOptions{Levels: 3, Cycle: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if res <= 0 || math.IsInf(res, 1) || math.IsNaN(res) {
+		t.Fatalf("budget-exhausted residual %g, want a real (unconverged) value", res)
+	}
+}

@@ -71,7 +71,7 @@ func TestReconstructBounded(t *testing.T) {
 		for i := 1; i < 4; i++ {
 			v[i] = v[i-1] * (1 + r.Float64())
 		}
-		L, R := reconstruct(mk(v[0]), mk(v[1]), mk(v[2]), mk(v[3]), true, true)
+		L, R := reconstruct(minmod, mk(v[0]), mk(v[1]), mk(v[2]), mk(v[3]), true, true)
 		if L.Rho <= 0 || R.Rho <= 0 || L.P <= 0 || R.P <= 0 {
 			return false
 		}

@@ -1,0 +1,41 @@
+package fvm
+
+import (
+	"math"
+
+	"cataero/internal/gas"
+	"cataero/internal/geometry"
+	"cataero/internal/grid"
+	"cataero/internal/transport"
+)
+
+// ReferenceViscousCase builds the repository's benchmark reference
+// configuration at the given grid size: the Fig. 9-class Mach-6 ideal-air
+// hemisphere (Rn = 12.7 mm) with Roberts wall clustering, thin-layer viscous
+// terms and an isothermal no-slip wall. It is shared by the fvm benchmarks
+// and the `catsim bench` harness so both measure the same solve; ts selects
+// the time integrator ("" = explicit).
+func ReferenceViscousCase(ni, nj int, ts string) (*grid.Grid2D, Options, error) {
+	body := geometry.NewSphere(0.0127)
+	g, err := grid.NewBlunt(body, body.MaxS(), ni, nj, func(s float64) float64 {
+		return 0.35*0.0127 + 0.3*s
+	}, 1.08)
+	if err != nil {
+		return nil, Options{}, err
+	}
+	g.Axisymmetric = true
+	o := Options{
+		Gas:          gas.NewIdealAir(),
+		Viscous:      true,
+		Wall:         NoSlipIsothermal,
+		TWall:        1500,
+		Mu:           transport.Sutherland,
+		K:            transport.SutherlandConductivity,
+		FreestreamV:  [2]float64{6 * math.Sqrt(1.4*287.05*217), 0},
+		FreestreamPT: [2]float64{550, 217},
+		CFL:          0.4,
+		MUSCL:        true,
+		TimeStepping: ts,
+	}
+	return g, o, nil
+}

@@ -8,32 +8,56 @@ import (
 	"cataero/internal/grid"
 )
 
-// SequenceOptions configures a grid-sequenced solve (SolveSequenced).
+// SequenceOptions configures a grid-sequenced or multilevel solve
+// (SolveSequenced / SolveMultilevel).
 type SequenceOptions struct {
-	// Coarsen divides the cell counts for the first stage (default 2).
+	// Coarsen divides the cell counts between adjacent levels (default 2).
 	Coarsen int
-	// CoarseDropTol is the relative residual drop for the coarse stage
+	// CoarseDropTol is the relative residual drop for the coarsest level
 	// (default 1e-2: the coarse stage only has to establish the shock).
+	// Intermediate levels of a deeper hierarchy interpolate geometrically
+	// between CoarseDropTol and the fine drop tolerance.
 	CoarseDropTol float64
-	// CoarseMaxSteps bounds the coarse stage (default maxSteps).
+	// CoarseMaxSteps bounds each coarse level (default maxSteps).
 	CoarseMaxSteps int
-	// Refit re-fits the fine grid's outer boundary to the coarse shock
-	// locus before the fine stage, shrink-wrapping the shock layer.
+	// Refit re-fits each finer grid's outer boundary to the coarser level's
+	// shock locus at the level transition, shrink-wrapping the shock layer.
 	Refit bool
-	// RefitMargin is the outer-boundary margin over the coarse standoff
-	// (default 1.4); only used with Refit.
+	// RefitMargin is the outer-boundary margin over the detected standoff
+	// (default 1.4); used with Refit and RefitEvery.
 	RefitMargin float64
+
+	// Levels is the number of grid levels, fine level included: 0 and 2 run
+	// the classic two-level sequenced solve, 1 solves single-level, and 3 or
+	// more build a deeper hierarchy by chained Coarsen calls. Levels the
+	// grid cannot reach (cell counts not divisible by the factor, or below
+	// the 4x4 MUSCL floor) are dropped automatically.
+	Levels int
+	// Cycle selects the multilevel schedule (see Cycles): "cascade" (the
+	// default — converge coarsest-first, inject downward, finish fine) or
+	// "v" (FAS V-cycles with pre/post smoothing sweeps after a cascade
+	// initialization). Setting Cycle routes the solve through the
+	// multilevel driver even at two levels.
+	Cycle string
+	// SmoothSteps is the number of pre- and post-smoothing time steps per
+	// level of a V-cycle (default 4). Ignored by the cascade.
+	SmoothSteps int
+	// RefitEvery, when positive, re-detects the shock locus every RefitEvery
+	// steps on the finest level mid-march, re-fits the outer boundary with
+	// RefitMargin and transfers the solution onto the refitted grid, so
+	// late-march cells concentrate in the shock layer.
+	RefitEvery int
 }
 
-// SolveSequenced runs a grid-sequenced solve to steady state: converge on a
-// coarsened grid, interpolate the coarse state onto the fine grid as the
-// initial condition (optionally re-fitting the fine outer boundary to the
-// coarse shock locus), then finish on the fine grid. The fine stage stops
-// at the same absolute residual a freestream-started fine solve would reach
-// after dropping by dropTol. Returns the fine solver (which the caller owns)
-// and its final residual. Falls back to a plain fine-grid solve when the
-// grid cannot be coarsened.
-func SolveSequenced(ctx context.Context, g *grid.Grid2D, o Options, maxSteps int, dropTol float64, sq SequenceOptions) (*Solver, float64, error) {
+// multilevel reports whether the options request the multilevel driver
+// rather than the classic two-level sequenced path.
+func (sq SequenceOptions) multilevel() bool {
+	return sq.Levels == 1 || sq.Levels >= 3 || sq.Cycle != "" || sq.RefitEvery > 0
+}
+
+// withDefaults fills the zero-valued fields shared by the two-level and
+// multilevel paths, so the defaults cannot drift between them.
+func (sq SequenceOptions) withDefaults(maxSteps int) SequenceOptions {
 	if sq.Coarsen < 2 {
 		sq.Coarsen = 2
 	}
@@ -46,6 +70,22 @@ func SolveSequenced(ctx context.Context, g *grid.Grid2D, o Options, maxSteps int
 	if sq.RefitMargin <= 1 {
 		sq.RefitMargin = 1.4
 	}
+	return sq
+}
+
+// SolveSequenced runs a grid-sequenced solve to steady state: converge on a
+// coarsened grid, interpolate the coarse state onto the fine grid as the
+// initial condition (optionally re-fitting the fine outer boundary to the
+// coarse shock locus), then finish on the fine grid. The fine stage stops
+// at the same absolute residual a freestream-started fine solve would reach
+// after dropping by dropTol. Returns the fine solver (which the caller owns)
+// and its final residual. Falls back to a plain fine-grid solve when the
+// grid cannot be coarsened.
+func SolveSequenced(ctx context.Context, g *grid.Grid2D, o Options, maxSteps int, dropTol float64, sq SequenceOptions) (*Solver, float64, error) {
+	if sq.multilevel() {
+		return SolveMultilevel(ctx, g, o, maxSteps, dropTol, sq)
+	}
+	sq = sq.withDefaults(maxSteps)
 	cg, err := g.Coarsen(sq.Coarsen)
 	if err != nil {
 		// Grid too small (or hand-built): sequencing buys nothing, solve fine.

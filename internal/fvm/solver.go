@@ -22,6 +22,16 @@ func (s *Solver) computeResidual() {
 	if s.G.Axisymmetric {
 		s.pool.sweep(s.ni, &s.sweepWG, s.swAxi)
 	}
+	// FAS defect correction: a coarse multigrid level relaxes the forced
+	// system R(U) - forcing = 0 (see multigrid.go). Coarse grids are small,
+	// so the subtraction is not worth a pool sweep.
+	if s.forcing != nil {
+		for k := range s.res {
+			for c := 0; c < 4; c++ {
+				s.res[k][c] -= s.forcing[k][c]
+			}
+		}
+	}
 }
 
 // resIRange accumulates the I-direction face fluxes for j-rows [lo, hi).
@@ -59,7 +69,7 @@ func (s *Solver) resIRange(ci, lo, hi int) {
 					if hasPP {
 						pp = s.prim[s.idx(i+1, j)]
 					}
-					L, R = reconstruct(mm, m, p, pp, hasMM, hasPP)
+					L, R = reconstruct(s.lim, mm, m, p, pp, hasMM, hasPP)
 				} else {
 					L, R = m, p
 				}
@@ -113,7 +123,7 @@ func (s *Solver) resJRange(ci, lo, hi int) {
 					if hasPP {
 						pp = s.prim[s.idx(i, j+1)]
 					}
-					L, R = reconstruct(mm, m, p, pp, hasMM, hasPP)
+					L, R = reconstruct(s.lim, mm, m, p, pp, hasMM, hasPP)
 				} else {
 					L, R = m, p
 				}

@@ -112,9 +112,13 @@ func (g *Grid2D) Refit(standoff func(s float64) float64) (*Grid2D, error) {
 	return ng, nil
 }
 
-// Coarsen regenerates the grid with the cell counts divided by factor
-// (floored at 4 cells per direction so MUSCL stencils stay valid), for use
-// as the first stage of a grid-sequenced solve.
+// Coarsen regenerates the grid with the cell counts divided by factor, for
+// use as the coarse levels of a sequenced or multilevel solve. Both cell
+// counts must divide evenly by the factor — a remainder would misalign the
+// coarse cells against the fine ones, breaking index-based state transfer —
+// and the coarse grid must keep at least 4 cells per direction so MUSCL
+// stencils stay valid. Callers chaining Coarsen for a level hierarchy should
+// treat an error as "this level is unreachable" and stop chaining.
 func (g *Grid2D) Coarsen(factor int) (*Grid2D, error) {
 	if g.body == nil {
 		return nil, fmt.Errorf("grid: Coarsen requires a grid built by NewBlunt")
@@ -122,16 +126,13 @@ func (g *Grid2D) Coarsen(factor int) (*Grid2D, error) {
 	if factor < 2 {
 		return nil, fmt.Errorf("grid: coarsening factor %d below 2", factor)
 	}
+	if g.NI%factor != 0 || g.NJ%factor != 0 {
+		return nil, fmt.Errorf("grid: cell counts %dx%d not divisible by coarsening factor %d (coarse cells would misalign; choose counts divisible by the factor)", g.NI, g.NJ, factor)
+	}
 	ni := g.NI / factor
-	if ni < 4 {
-		ni = 4
-	}
 	nj := g.NJ / factor
-	if nj < 4 {
-		nj = 4
-	}
-	if ni >= g.NI || nj >= g.NJ {
-		return nil, fmt.Errorf("grid: %dx%d too small to coarsen by %d", g.NI, g.NJ, factor)
+	if ni < 4 || nj < 4 {
+		return nil, fmt.Errorf("grid: coarsening %dx%d by %d leaves %dx%d cells, below the 4x4 MUSCL minimum", g.NI, g.NJ, factor, ni, nj)
 	}
 	ng, err := NewBlunt(g.body, g.sMax, ni, nj, g.standoff, g.beta)
 	if err != nil {

@@ -2,6 +2,7 @@ package grid
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"cataero/internal/geometry"
@@ -140,6 +141,38 @@ func TestCoarsen(t *testing.T) {
 	small := sphereGrid(t, 4, 4)
 	if _, err := small.Coarsen(2); err == nil {
 		t.Error("coarsening a 4x4 grid accepted")
+	}
+}
+
+// Cell counts that do not divide by the factor must be rejected with a
+// descriptive error instead of silently producing misaligned coarse cells.
+func TestCoarsenDivisibility(t *testing.T) {
+	g := sphereGrid(t, 18, 26)
+	if _, err := g.Coarsen(4); err == nil {
+		t.Fatal("coarsening 18x26 by 4 accepted")
+	} else if !strings.Contains(err.Error(), "divisible") {
+		t.Errorf("error %q does not name the divisibility problem", err)
+	}
+	// Divisible but landing below the 4x4 MUSCL floor is also an error, not
+	// a clamp: 16x24 by 8 would leave 2x3 cells.
+	g2 := sphereGrid(t, 16, 24)
+	if _, err := g2.Coarsen(8); err == nil {
+		t.Fatal("coarsening 16x24 by 8 accepted")
+	}
+	// Chaining: 16x24 -> 8x12 -> 4x6 works; a third halving is unreachable.
+	c1, err := g2.Coarsen(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := c1.Coarsen(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NI != 4 || c2.NJ != 6 {
+		t.Fatalf("chained coarse counts %dx%d want 4x6", c2.NI, c2.NJ)
+	}
+	if _, err := c2.Coarsen(2); err == nil {
+		t.Error("coarsening 4x6 accepted")
 	}
 }
 

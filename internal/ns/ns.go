@@ -42,9 +42,13 @@ type Case struct {
 	// CFLRamp tunes the implicit integrator's CFL schedule (zero value =
 	// fvm.DefaultCFLRamp).
 	CFLRamp fvm.CFLRamp
-	// Sequence, when non-nil, runs the solve grid-sequenced: converge on a
-	// coarsened grid first, then finish on the fine grid from the
-	// interpolated coarse state (see fvm.SolveSequenced).
+	// Limiter selects the MUSCL slope limiter by name ("minmod",
+	// "vanalbada"; default fvm.DefaultLimiter).
+	Limiter string
+	// Sequence, when non-nil, runs the solve grid-sequenced or multilevel:
+	// converge coarse grids first, then finish on the fine grid (see
+	// fvm.SolveSequenced / fvm.SolveMultilevel and the Levels, Cycle and
+	// RefitEvery fields of fvm.SequenceOptions).
 	Sequence *fvm.SequenceOptions
 	// Pool, when non-nil, is a shared worker pool for the finite-volume
 	// sweeps (see fvm.Options.Pool); nil gives the solve a private pool.
@@ -111,6 +115,7 @@ func Solve(ctx context.Context, c Case) (*Result, error) {
 		Flux:         c.Flux,
 		TimeStepping: c.TimeStepping,
 		CFLRamp:      c.CFLRamp,
+		Limiter:      c.Limiter,
 		Pool:         c.Pool,
 		Progress:     c.Progress,
 	}

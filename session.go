@@ -28,7 +28,10 @@ type Session struct {
 	gamma    float64
 	flux     string
 	timestep string
+	limiter  string
 	gridSeq  bool
+	levels   int
+	cycle    string
 	// Solve admission (see pool.go): at most `workers` submitted runs
 	// execute concurrently; the rest wait FIFO in admitQueue.
 	admitMu    sync.Mutex
@@ -100,6 +103,37 @@ func WithGridSequencing(on bool) Option {
 	return func(s *Session) { s.gridSeq = on }
 }
 
+// WithLevels sets the default multilevel grid-level count stamped onto
+// problems that leave Levels at zero: 2 is the classic two-level sequenced
+// solve, 3 or more builds a deeper hierarchy by chained coarsening (levels
+// the grid cannot reach are dropped automatically). Setting a level count
+// turns sequencing on for NS and Euler shock-shape solves unless a problem
+// forces GridSequencing off.
+func WithLevels(n int) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.levels = n
+		}
+	}
+}
+
+// WithCycle sets the default multilevel schedule ("cascade", "v" — see
+// Cycles) stamped onto problems whose Cycle field is left empty; an unknown
+// name fails at solve time with the valid list. Like WithLevels, a cycle
+// default turns sequencing on for the solves that support it.
+func WithCycle(name string) Option {
+	return func(s *Session) { s.cycle = name }
+}
+
+// WithLimiter sets the default MUSCL slope limiter ("minmod", "vanalbada" —
+// see Limiters) stamped onto problems whose Limiter field is left empty; an
+// unknown name fails at solve time with the valid list. The smooth van
+// Albada limiter lets the implicit CFL ramp climb past the minmod limit
+// cycle.
+func WithLimiter(name string) Option {
+	return func(s *Session) { s.limiter = name }
+}
+
 // NewSession builds a session from functional options. The zero
 // configuration is useful as-is: solver-default grids, GOMAXPROCS batch
 // workers, chemistry taken from each problem.
@@ -129,6 +163,15 @@ func (s *Session) apply(p Problem) Problem {
 	}
 	if p.TimeStepping == "" && s.timestep != "" {
 		p.TimeStepping = s.timestep
+	}
+	if p.Limiter == "" && s.limiter != "" {
+		p.Limiter = s.limiter
+	}
+	if p.Levels == 0 && s.levels != 0 {
+		p.Levels = s.levels
+	}
+	if p.Cycle == "" && s.cycle != "" {
+		p.Cycle = s.cycle
 	}
 	// Grid sequencing is tri-state: the session default fills only an unset
 	// toggle, so a case can force sequencing off on a session that enables

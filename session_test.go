@@ -279,3 +279,61 @@ func TestTimeSteppingsList(t *testing.T) {
 		t.Fatalf("TimeSteppings() = %v, want explicit and implicit", names)
 	}
 }
+
+func TestSessionMultilevelOptions(t *testing.T) {
+	s := NewSession(WithLevels(3), WithCycle("v"), WithLimiter("vanalbada"))
+	p := s.apply(smallNSProblem())
+	if p.Levels != 3 || p.Cycle != "v" || p.Limiter != "vanalbada" {
+		t.Fatalf("multilevel options not stamped: levels=%d cycle=%q limiter=%q",
+			p.Levels, p.Cycle, p.Limiter)
+	}
+	// Problem-level values win over the session defaults.
+	q := smallNSProblem()
+	q.Levels, q.Cycle, q.Limiter = 2, "cascade", "minmod"
+	q = s.apply(q)
+	if q.Levels != 2 || q.Cycle != "cascade" || q.Limiter != "minmod" {
+		t.Fatalf("problem multilevel knobs overridden: levels=%d cycle=%q limiter=%q",
+			q.Levels, q.Cycle, q.Limiter)
+	}
+}
+
+func TestSessionUnknownCycleAndLimiterFail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NS solves in short mode")
+	}
+	if _, err := NewSession(WithCycle("w")).Solve(context.Background(), fastNSProblem()); err == nil {
+		t.Error("unknown cycle accepted")
+	}
+	if _, err := NewSession(WithLimiter("superbee")).Solve(context.Background(), fastNSProblem()); err == nil {
+		t.Error("unknown limiter accepted")
+	}
+}
+
+// A session-level WithLevels turns the NS solve multilevel: the run reports
+// per-level phases level0/level1 (the 8x14 grid reaches exactly two levels;
+// deeper requests auto-drop), and ToggleOff still opts a problem out.
+func TestMultilevelRunPhases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NS solves in short mode")
+	}
+	s := NewSession(WithLevels(3))
+	seen := map[string]bool{}
+	p := fastNSProblem()
+	p.Monitor = MonitorFunc(func(pr Progress) { seen[pr.Phase] = true })
+	if _, err := s.Submit(context.Background(), p).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !seen["level0"] || !seen["level1"] || seen["level2"] || seen["coarse"] || seen["solve"] {
+		t.Fatalf("multilevel phases %v, want level0+level1", seen)
+	}
+	q := fastNSProblem()
+	q.GridSequencing = ToggleOff
+	seen = map[string]bool{}
+	q.Monitor = MonitorFunc(func(pr Progress) { seen[pr.Phase] = true })
+	if _, err := s.Submit(context.Background(), q).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if seen["level0"] || !seen["solve"] {
+		t.Fatalf("opted-out phases %v, want solve only", seen)
+	}
+}
