@@ -108,6 +108,12 @@ func March(ctx context.Context, edges []blayer.EdgeState, props Props, hw, h0 fl
 			return err
 		}
 		for iter := 0; iter < opts.MaxIter; iter++ {
+			// A station's relaxation sweeps dominate the march when the
+			// property closure is an equilibrium solve; poll so cancellation
+			// lands mid-station, not only between stations.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			// Property update from current profiles.
 			for i := 0; i < n; i++ {
 				H := HwE + numerics.Clamp(g[i], 0, 1.05)*dH

@@ -127,6 +127,12 @@ func Solve(ctx context.Context, in Inputs) (*Result, error) {
 	if in.Rad != nil {
 		layers := make([]radiation.Layer, 0, in.NPts-1)
 		for i := 1; i < in.NPts; i++ {
+			// Each layer re-equilibrates the mid-point composition, which is
+			// as expensive as a profile point: keep the radiation pass
+			// cancellable too.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			Tm := 0.5 * (res.T[i] + res.T[i-1])
 			// Composition at the mid temperature and stagnation pressure.
 			ymid, rhomid, err := in.Eq.CompositionPT(stag.P, math.Max(Tm, 300), in.Y0)
