@@ -34,7 +34,7 @@ var (
 
 // DefaultTimeStepping is the integrator used when Options.TimeStepping is
 // empty.
-const DefaultTimeStepping = "explicit"
+const DefaultTimeStepping = TimeSteppingExplicit
 
 func init() {
 	RegisterIntegrator(explicitIntegrator{})
@@ -88,7 +88,7 @@ func integratorNamesLocked() []string {
 
 type explicitIntegrator struct{}
 
-func (explicitIntegrator) Name() string { return "explicit" }
+func (explicitIntegrator) Name() string { return TimeSteppingExplicit }
 
 func (explicitIntegrator) NewStepper(s *Solver) (Stepper, error) {
 	return explicitStepper{s}, nil

@@ -1,0 +1,25 @@
+package fvm
+
+// Exported registry name constants. Code outside this package must use
+// these instead of bare string literals when naming a flux kernel, time
+// integrator, limiter or multilevel cycle — the catlint registry analyzer
+// enforces it, so a renamed registry entry fails the build-time lint
+// instead of a runtime lookup.
+const (
+	// Flux kernels (Options.Flux, CaseSpec "flux").
+	FluxHLLE     = "hlle"
+	FluxHLLC     = "hllc"
+	FluxAUSMPlus = "ausm+"
+
+	// Time integrators (Options.TimeStepping, CaseSpec "time_stepping").
+	TimeSteppingExplicit = "explicit"
+	TimeSteppingImplicit = "implicit"
+
+	// Slope limiters (Options.Limiter, CaseSpec "limiter").
+	LimiterMinmod    = "minmod"
+	LimiterVanAlbada = "vanalbada"
+
+	// Multilevel cycles (SequenceOptions.Cycle, CaseSpec "cycle").
+	CycleCascade = "cascade"
+	CycleV       = "v"
+)
