@@ -105,7 +105,7 @@ func shockWidthComparison() (firstOrder, muscl float64, err error) {
 			return 0, err
 		}
 		g.Axisymmetric = true
-		aInf := math.Sqrt(1.4 * 287.05 * 250)
+		aInf := math.Sqrt(thermo.GammaAir * thermo.RAir * 250)
 		s, err := fvm.New(g, fvm.Options{
 			Gas:          gas.NewIdealAir(),
 			FreestreamV:  [2]float64{6 * aInf, 0},

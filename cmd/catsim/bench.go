@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"testing"
 
 	"cataero/internal/fvm"
@@ -14,7 +15,7 @@ import (
 
 // benchCmd runs the repository's Solve/Step benchmarks through
 // testing.Benchmark and writes the results as machine-readable JSON
-// (`catsim bench -out BENCH_pr5.json`), so CI can archive the perf
+// (`catsim bench -out BENCH.json`), so CI can archive the perf
 // trajectory per PR instead of scraping `go test -bench` text output. The
 // cases mirror internal/fvm/bench_test.go via the shared
 // fvm.ReferenceViscousCase configuration: per-step costs of the explicit,
@@ -23,9 +24,11 @@ import (
 // sizes.
 func benchCmd(args []string) int {
 	fs := flag.NewFlagSet("catsim bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_pr5.json", "output path for the JSON results")
+	out := fs.String("out", "BENCH.json", "output path for the JSON results")
+	baseline := fs.String("baseline", "", "baseline JSON from a previous run; regressions past -tol fail")
+	tol := fs.Float64("tol", 0.30, "allowed fractional ns/op and steps/op regression vs -baseline")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: catsim bench [-out results.json]")
+		fmt.Fprintln(os.Stderr, "usage: catsim bench [-out results.json] [-baseline prev.json] [-tol 0.30]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -49,7 +52,85 @@ func benchCmd(args []string) int {
 		return 1
 	}
 	fmt.Printf("wrote %d results to %s\n", len(results), *out)
-	return 0
+	code := 0
+	if !stepAllocsGate(results) {
+		code = 1
+	}
+	if *baseline != "" && !diffBaseline(results, *baseline, *tol) {
+		code = 1
+	}
+	return code
+}
+
+// stepAllocsGate enforces the dynamic half of the hotpath contract: the
+// per-step benchmarks must hold zero allocations per op. The static half is
+// `catlint`'s hotpath analyzer over the //cataero:hotpath closure.
+func stepAllocsGate(results []BenchResult) bool {
+	ok := true
+	for _, r := range results {
+		if strings.HasPrefix(r.Name, "Step") && r.AllocsOp > 0 {
+			fmt.Fprintf(os.Stderr, "catsim bench: %s allocates %d/op; the per-step paths must stay at 0 allocs/op\n",
+				r.Name, r.AllocsOp)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// diffBaseline compares results against a previous run's JSON by benchmark
+// name. ns/op and steps/op may regress by at most the fractional tol (timing
+// and convergence jitter); allocs/op must not grow at all.
+func diffBaseline(results []BenchResult, path string, tol float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catsim bench: baseline: %v\n", err)
+		return false
+	}
+	var base []BenchResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "catsim bench: baseline %s: %v\n", path, err)
+		return false
+	}
+	prev := make(map[string]BenchResult, len(base))
+	for _, b := range base {
+		prev[b.Name] = b
+	}
+	ok := true
+	for _, r := range results {
+		b, found := prev[r.Name]
+		if !found {
+			fmt.Printf("%-28s new benchmark (no baseline)\n", r.Name)
+			continue
+		}
+		delete(prev, r.Name)
+		if b.NsPerOp > 0 {
+			ratio := r.NsPerOp/b.NsPerOp - 1
+			status := "ok"
+			if ratio > tol {
+				status = "REGRESSION"
+				ok = false
+			}
+			fmt.Printf("%-28s ns/op %+6.1f%% vs baseline (%s)\n", r.Name, 100*ratio, status)
+		}
+		if b.StepsPerOp > 0 && r.StepsPerOp > b.StepsPerOp*(1+tol) {
+			fmt.Fprintf(os.Stderr, "catsim bench: %s takes %.0f steps/op vs %.0f in the baseline\n",
+				r.Name, r.StepsPerOp, b.StepsPerOp)
+			ok = false
+		}
+		if r.AllocsOp > b.AllocsOp {
+			fmt.Fprintf(os.Stderr, "catsim bench: %s allocates %d/op vs %d in the baseline\n",
+				r.Name, r.AllocsOp, b.AllocsOp)
+			ok = false
+		}
+	}
+	for name := range prev {
+		fmt.Fprintf(os.Stderr, "catsim bench: baseline benchmark %s no longer runs\n", name)
+		ok = false
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "catsim bench: performance regression vs %s (tol %.0f%%)\n", path, 100*tol)
+	}
+	return ok
 }
 
 // BenchResult is one benchmark measurement of the `catsim bench` output.
@@ -140,8 +221,8 @@ func runBenchmarks() ([]BenchResult, error) {
 		name string
 		ts   string
 	}{
-		{"StepViscousExplicit_20x32", "explicit"},
-		{"StepViscousImplicit_20x32", "implicit"},
+		{"StepViscousExplicit_20x32", fvm.TimeSteppingExplicit},
+		{"StepViscousImplicit_20x32", fvm.TimeSteppingImplicit},
 	} {
 		fn, err := benchStep(20, 32, c.ts)
 		if err != nil {
@@ -161,12 +242,12 @@ func runBenchmarks() ([]BenchResult, error) {
 		ts     string
 		seq    *fvm.SequenceOptions
 	}{
-		{"SolveExplicit_20x32", 20, 32, "explicit", nil},
-		{"SolveImplicit_20x32", 20, 32, "implicit", nil},
-		{"SolveImplicit_40x64", 40, 64, "implicit", nil},
-		{"SolveMultigrid_40x64", 40, 64, "implicit", threeLevel},
-		{"SolveImplicit_80x128", 80, 128, "implicit", nil},
-		{"SolveMultigrid_80x128", 80, 128, "implicit", threeLevel},
+		{"SolveExplicit_20x32", 20, 32, fvm.TimeSteppingExplicit, nil},
+		{"SolveImplicit_20x32", 20, 32, fvm.TimeSteppingImplicit, nil},
+		{"SolveImplicit_40x64", 40, 64, fvm.TimeSteppingImplicit, nil},
+		{"SolveMultigrid_40x64", 40, 64, fvm.TimeSteppingImplicit, threeLevel},
+		{"SolveImplicit_80x128", 80, 128, fvm.TimeSteppingImplicit, nil},
+		{"SolveMultigrid_80x128", 80, 128, fvm.TimeSteppingImplicit, threeLevel},
 	} {
 		steps = 0
 		r := testing.Benchmark(benchSolve(c.ni, c.nj, c.ts, c.seq, &steps))

@@ -463,7 +463,7 @@ func (s *Session) Fig9HemisphereNS(ctx context.Context, q Quality) (*Fig9Result,
 	if q >= 2 {
 		ni, nj, steps = 24, 40, 6000
 	}
-	aInf := math.Sqrt(1.4 * 287.05 * st.Temperature)
+	aInf := math.Sqrt(thermo.GammaAir * thermo.RAir * st.Temperature)
 	env, err := s.Solve(ctx, Problem{
 		Class: NS, Chemistry: EquilibriumAir,
 		PInf: st.Pressure, TInf: st.Temperature, VInf: 20 * aInf,

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"cataero/internal/numerics"
+	"cataero/internal/thermo"
 )
 
 // State is the local atmospheric state.
@@ -54,7 +55,7 @@ func (e *Earth) PlanetRadius() float64 { return 6356.766e3 }
 var us76H = []float64{0, 11000, 20000, 32000, 47000, 51000, 71000, 84852}
 var us76L = []float64{-0.0065, 0, 0.001, 0.0028, 0, -0.0028, -0.002}
 var us76T = []float64{288.15, 216.65, 216.65, 228.65, 270.65, 270.65, 214.65, 186.946}
-var us76P = []float64{101325, 22632.1, 5474.89, 868.019, 110.906, 66.9389, 3.95642, 0.3734}
+var us76P = []float64{thermo.AtmPa, 22632.1, 5474.89, 868.019, 110.906, 66.9389, 3.95642, 0.3734}
 
 const airR = 287.053 // J/(kg K)
 

@@ -27,6 +27,7 @@ import (
 
 	"cataero/internal/fvm"
 	"cataero/internal/geometry"
+	"cataero/internal/thermo"
 )
 
 // SolverClass selects one of the paper's four equation sets.
@@ -258,7 +259,7 @@ func normalize(p Problem) (Problem, error) {
 		p.TWall = 1200
 	}
 	if p.Gamma == 0 {
-		p.Gamma = 1.4
+		p.Gamma = thermo.GammaAir
 	}
 	return p, nil
 }

@@ -12,6 +12,7 @@ import (
 	"cataero/internal/ns"
 	"cataero/internal/pns"
 	"cataero/internal/radiation"
+	"cataero/internal/thermo"
 	"cataero/internal/vsl"
 )
 
@@ -58,6 +59,22 @@ func countProgress(p Problem, solver, phase string) func(step, total int) {
 	}
 	mon, class := p.Monitor, p.Class
 	return func(step, total int) {
+		mon.OnProgress(Progress{
+			Class: class, Solver: solver, Phase: phase,
+			Step: step, MaxSteps: total,
+		})
+	}
+}
+
+// phaseProgress adapts the problem's Monitor to callbacks that report their
+// own phase alongside (step, total) — solvers whose coarse stages would
+// otherwise run silent (the VSL radiation pass, marching setup sweeps).
+func phaseProgress(p Problem, solver string) func(phase string, step, total int) {
+	if p.Monitor == nil {
+		return nil
+	}
+	mon, class := p.Monitor, p.Class
+	return func(phase string, step, total int) {
 		mon.OnProgress(Progress{
 			Class: class, Solver: solver, Phase: phase,
 			Step: step, MaxSteps: total,
@@ -116,7 +133,7 @@ func shockTableSpec(rhoInf, vInf float64) TableSpec {
 func gasModelFor(st *Stack, p Problem, spec func(rhoInf, vInf float64) TableSpec) (gas.Model, error) {
 	switch p.Chemistry {
 	case IdealGas:
-		return gas.NewIdeal(p.Gamma, 287.05), nil
+		return gas.NewIdeal(p.Gamma, thermo.RAir), nil
 	case EquilibriumAir:
 		m, err := st.Models(EquilibriumAir)
 		if err != nil {
@@ -144,7 +161,7 @@ func (vslSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment,
 		Mix: m.Mix, Eq: m.Eq, Tr: m.Tr, Rad: rad, Y0: m.Y0,
 		PInf: p.PInf, TInf: p.TInf, VInf: p.VInf,
 		Rn: p.NoseRadius, TWall: p.TWall, NPts: p.NStations,
-		Progress: countProgress(p, "vsl", "profile"),
+		Progress: phaseProgress(p, "vsl"),
 	})
 	if err != nil {
 		return nil, err
@@ -213,10 +230,11 @@ func (pnsSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment,
 	)
 	switch p.Chemistry {
 	case IdealGas:
-		const R = 287.05
+		const R = thermo.RAir
 		fs := blayer.FreeStream{P: p.PInf, T: p.TInf, V: p.VInf,
 			Rho: p.PInf / (R * p.TInf)}
-		edges, err = pns.IdealEdgeDistribution(p.Gamma, R, fs, p.Body, stations(p))
+		edges, err = pns.IdealEdgeDistributionProgress(p.Gamma, R, fs, p.Body, stations(p),
+			countProgress(p, "pns", "edges"))
 		if err != nil {
 			return nil, err
 		}
@@ -229,7 +247,10 @@ func (pnsSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment,
 		}
 		fs := blayer.FreeStream{P: p.PInf, T: p.TInf, V: p.VInf,
 			Rho: m.Mix.Density(p.PInf, p.TInf, m.Y0)}
-		edges, err = blayer.EdgeDistribution(m.Eq, m.Tr, m.Y0, fs, p.Body, stations(p))
+		// The per-station equilibrium expansions are the bulk of the setup;
+		// report them as their own phase so the march doesn't appear hung.
+		edges, err = blayer.EdgeDistributionProgress(m.Eq, m.Tr, m.Y0, fs, p.Body, stations(p),
+			countProgress(p, "pns", "edges"))
 		if err != nil {
 			return nil, err
 		}

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"cataero/internal/atmosphere"
+	"cataero/internal/thermo"
 	"cataero/internal/transport"
 )
 
@@ -46,7 +47,7 @@ func Domain(v Vehicle) []Point {
 		V := v.Velocities[i]
 		// Frozen-air sound speed and Sutherland viscosity: adequate for a
 		// domain map.
-		a := math.Sqrt(1.4 * 287.05 * st.Temperature)
+		a := math.Sqrt(thermo.GammaAir * thermo.RAir * st.Temperature)
 		mu := transport.Sutherland(st.Temperature)
 		out = append(out, Point{
 			Altitude: v.Altitudes[i],

@@ -29,7 +29,7 @@ var (
 )
 
 // DefaultFlux is the kernel used when Options.Flux is empty.
-const DefaultFlux = "hlle"
+const DefaultFlux = FluxHLLE
 
 func init() {
 	RegisterFlux(hlleKernel{})
@@ -94,8 +94,12 @@ func kernelFluxVec(k FluxKernel, L, R Prim, sx, sy float64) Cons {
 
 type hlleKernel struct{}
 
-func (hlleKernel) Name() string { return "hlle" }
+func (hlleKernel) Name() string { return FluxHLLE }
 
+// minmod is the minmod limited slope: the smaller one-sided difference,
+// or zero at extrema.
+//
+//cataero:hotpath
 func (hlleKernel) Flux(L, R Prim, nx, ny, area float64) Cons {
 	unL := L.U*nx + L.V*ny
 	unR := R.U*nx + R.V*ny
@@ -133,11 +137,13 @@ func hlle(L, R Prim, sx, sy float64) Cons {
 
 type hllcKernel struct{}
 
-func (hllcKernel) Name() string { return "hllc" }
+func (hllcKernel) Name() string { return FluxHLLC }
 
 // Flux is the HLLC flux (Toro's restoration of the contact wave missing
 // from HLLE), written against wave-speed estimates that only use the local
 // sound speeds so it stays valid for a general equation of state.
+//
+//cataero:hotpath
 func (hllcKernel) Flux(L, R Prim, nx, ny, area float64) Cons {
 	unL := L.U*nx + L.V*ny
 	unR := R.U*nx + R.V*ny
@@ -155,29 +161,17 @@ func (hllcKernel) Flux(L, R Prim, nx, ny, area float64) Cons {
 			return hlleKernel{}.Flux(L, R, nx, ny, area)
 		}
 		sm := (R.P - L.P + L.Rho*unL*(sl-unL) - R.Rho*unR*(sr-unR)) / den
-		// Star-region state on side q between wave sq and the contact sm.
-		star := func(q Prim, un, sq float64) Cons {
-			fac := q.Rho * (sq - un) / (sq - sm)
-			et := q.E + 0.5*(q.U*q.U+q.V*q.V)
-			eStar := et + (sm-un)*(sm+q.P/(q.Rho*(sq-un)))
-			return Cons{
-				fac,
-				fac * (q.U + (sm-un)*nx),
-				fac * (q.V + (sm-un)*ny),
-				fac * eStar,
-			}
-		}
 		if sm >= 0 {
 			fL := physFlux(L, nx, ny)
 			uL := consOf(L)
-			us := star(L, unL, sl)
+			us := hllcStar(L, unL, sl, sm, nx, ny)
 			for k := 0; k < 4; k++ {
 				f[k] = fL[k] + sl*(us[k]-uL[k])
 			}
 		} else {
 			fR := physFlux(R, nx, ny)
 			uR := consOf(R)
-			us := star(R, unR, sr)
+			us := hllcStar(R, unR, sr, sm, nx, ny)
 			for k := 0; k < 4; k++ {
 				f[k] = fR[k] + sr*(us[k]-uR[k])
 			}
@@ -193,13 +187,31 @@ func (hllcKernel) Flux(L, R Prim, nx, ny, area float64) Cons {
 
 type ausmKernel struct{}
 
-func (ausmKernel) Name() string { return "ausm+" }
+// hllcStar is the HLLC star-region conserved state on side q between wave sq
+// and the contact sm, already folded with the q.Rho(sq-un)/(sq-sm) factor.
+//
+//cataero:hotpath
+func hllcStar(q Prim, un, sq, sm, nx, ny float64) Cons {
+	fac := q.Rho * (sq - un) / (sq - sm)
+	et := q.E + 0.5*(q.U*q.U+q.V*q.V)
+	eStar := et + (sm-un)*(sm+q.P/(q.Rho*(sq-un)))
+	return Cons{
+		fac,
+		fac * (q.U + (sm-un)*nx),
+		fac * (q.V + (sm-un)*ny),
+		fac * eStar,
+	}
+}
+
+func (ausmKernel) Name() string { return FluxAUSMPlus }
 
 // Flux is Liou's AUSM+ flux: Mach-number and pressure splittings about a
 // common interface sound speed, with the convected vector upwinded by the
 // interface Mach number. The splittings satisfy M±(M) = -M∓(-M) and
 // P±(M) = P∓(-M), which gives the required symmetry under (L,R,n) ->
 // (R,L,-n).
+//
+//cataero:hotpath
 func (ausmKernel) Flux(L, R Prim, nx, ny, area float64) Cons {
 	a := 0.5 * (L.A + R.A)
 	if a <= 0 {

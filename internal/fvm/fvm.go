@@ -261,6 +261,8 @@ func (s *Solver) updatePrimitives() {
 }
 
 // primRange decodes the primitive cache for i-lines [lo, hi).
+//
+//cataero:hotpath
 func (s *Solver) primRange(ci, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		for j := 0; j < s.nj; j++ {
@@ -296,7 +298,7 @@ func consOf(q Prim) Cons {
 type LimiterFunc func(a, b float64) float64
 
 // DefaultLimiter is the slope limiter used when Options.Limiter is empty.
-const DefaultLimiter = "minmod"
+const DefaultLimiter = LimiterMinmod
 
 // limiterTable maps the Options.Limiter names; minmod is the strictly TVD
 // default, vanalbada the smooth (differentiable) variant whose limited slope
@@ -304,8 +306,8 @@ const DefaultLimiter = "minmod"
 // continuity is what keeps the residual from limit-cycling between limiter
 // branches, so the convergence-gated CFL ramp climbs instead of stalling.
 var limiterTable = map[string]LimiterFunc{
-	"minmod":    minmod,
-	"vanalbada": vanAlbada,
+	LimiterMinmod:    minmod,
+	LimiterVanAlbada: vanAlbada,
 }
 
 // LimiterFor resolves a MUSCL slope limiter by name; the empty name resolves
@@ -331,6 +333,10 @@ func Limiters() []string {
 	return out
 }
 
+// minmod is the minmod limited slope: the smaller one-sided difference,
+// or zero at extrema.
+//
+//cataero:hotpath
 func minmod(a, b float64) float64 {
 	if a*b <= 0 {
 		return 0
@@ -345,6 +351,8 @@ func minmod(a, b float64) float64 {
 // one-sided differences that tends to the centered slope where they agree
 // and to zero at extrema, with no switching branch for the residual to
 // limit-cycle on. The epsilon regularizes the 0/0 at a flat field.
+//
+//cataero:hotpath
 func vanAlbada(a, b float64) float64 {
 	if a*b <= 0 {
 		return 0

@@ -61,7 +61,7 @@ func (r CFLRamp) withDefaults() CFLRamp {
 
 type implicitIntegrator struct{}
 
-func (implicitIntegrator) Name() string { return "implicit" }
+func (implicitIntegrator) Name() string { return TimeSteppingImplicit }
 
 func (implicitIntegrator) NewStepper(s *Solver) (Stepper, error) {
 	st := &implicitStepper{
@@ -172,6 +172,8 @@ func (st *implicitStepper) resetRamp() {
 // across lines on the worker pool), an explicit fallback on any line whose
 // update leaves the physical state space, and a CFL ramp update. Returns the
 // RMS density residual of the evaluated RHS.
+//
+//cataero:hotpath
 func (st *implicitStepper) Step() float64 {
 	s := st.s
 	s.cfl = st.cfl
@@ -221,6 +223,8 @@ func (st *implicitStepper) Step() float64 {
 
 // lineRange assembles and solves the wall-normal systems for i-lines
 // [lo, hi) — one sweep chunk, using that chunk's private workspace.
+//
+//cataero:hotpath
 func (st *implicitStepper) lineRange(ci, lo, hi int) {
 	w := st.ws[ci]
 	w.sum, w.fell = 0, 0

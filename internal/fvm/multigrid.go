@@ -10,7 +10,7 @@ import (
 
 // DefaultCycle is the multilevel schedule used when SequenceOptions.Cycle is
 // empty.
-const DefaultCycle = "cascade"
+const DefaultCycle = CycleCascade
 
 // Cycles returns the valid multilevel schedule names
 // (SequenceOptions.Cycle): "cascade" converges the hierarchy coarsest-first
@@ -18,7 +18,7 @@ const DefaultCycle = "cascade"
 // pre-smooth, restrict the state conservatively, relax the defect-corrected
 // coarse problem, prolongate the correction, post-smooth — after a cascade
 // initialization.
-func Cycles() []string { return []string{"cascade", "v"} }
+func Cycles() []string { return []string{CycleCascade, CycleV} }
 
 // SolveMultilevel runs a multilevel solve to steady state: a level hierarchy
 // built from chained grid.Coarsen calls (each level with its own cached
@@ -52,6 +52,7 @@ func SolveMultilevel(ctx context.Context, g *grid.Grid2D, o Options, maxSteps in
 	// Build the grid hierarchy by chained coarsening, dropping levels the
 	// grid cannot reach.
 	grids := []*grid.Grid2D{g}
+	//cataero:allow ctxloop bounded by Levels (a handful of coarsenings)
 	for len(grids) < sq.Levels {
 		cg, err := grids[len(grids)-1].Coarsen(sq.Coarsen)
 		if err != nil {
@@ -62,6 +63,7 @@ func SolveMultilevel(ctx context.Context, g *grid.Grid2D, o Options, maxSteps in
 
 	m := &multilevel{o: o, sq: sq, maxSteps: maxSteps, dropTol: dropTol}
 	solvers := make([]*Solver, len(grids))
+	//cataero:allow ctxloop one solver allocation per level, setup only
 	for l, lg := range grids {
 		s, err := New(lg, o)
 		if err != nil {
@@ -94,7 +96,7 @@ func validateMultilevel(sq SequenceOptions) error {
 	if sq.Levels < 1 {
 		return fmt.Errorf("fvm: multilevel solve: Levels %d below 1", sq.Levels)
 	}
-	if sq.Cycle != "cascade" && sq.Cycle != "v" {
+	if sq.Cycle != CycleCascade && sq.Cycle != CycleV {
 		return fmt.Errorf("fvm: multilevel solve: no cycle %q (have %v)", sq.Cycle, Cycles())
 	}
 	if sq.SmoothSteps < 0 {
@@ -140,7 +142,7 @@ func (m *multilevel) run(ctx context.Context) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if m.sq.Cycle == "v" && len(m.solvers) > 1 {
+	if m.sq.Cycle == CycleV && len(m.solvers) > 1 {
 		return m.vcycles(ctx, target)
 	}
 	return m.marchFinest(ctx, target, -1)
@@ -588,7 +590,7 @@ func (m *multilevel) refitFinest() (bool, error) {
 	}
 	// The coarse hierarchy must track the finest geometry for the V-cycle's
 	// restriction to stay meaningful; rebuild it from the refitted grid.
-	if m.sq.Cycle == "v" && len(m.solvers) > 1 {
+	if m.sq.Cycle == CycleV && len(m.solvers) > 1 {
 		g := s.G
 		for l := 1; l < len(m.solvers); l++ {
 			cg, err := g.Coarsen(m.sq.Coarsen)

@@ -6,6 +6,7 @@ import (
 	"cataero/internal/gas"
 	"cataero/internal/geometry"
 	"cataero/internal/grid"
+	"cataero/internal/thermo"
 	"cataero/internal/transport"
 )
 
@@ -31,7 +32,7 @@ func ReferenceViscousCase(ni, nj int, ts string) (*grid.Grid2D, Options, error) 
 		TWall:        1500,
 		Mu:           transport.Sutherland,
 		K:            transport.SutherlandConductivity,
-		FreestreamV:  [2]float64{6 * math.Sqrt(1.4*287.05*217), 0},
+		FreestreamV:  [2]float64{6 * math.Sqrt(thermo.GammaAir*thermo.RAir*217), 0},
 		FreestreamPT: [2]float64{550, 217},
 		CFL:          0.4,
 		MUSCL:        true,

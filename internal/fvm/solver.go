@@ -35,6 +35,8 @@ func (s *Solver) computeResidual() {
 }
 
 // resIRange accumulates the I-direction face fluxes for j-rows [lo, hi).
+//
+//cataero:hotpath
 func (s *Solver) resIRange(ci, lo, hi int) {
 	ni, nj := s.ni, s.nj
 	met := s.met
@@ -92,6 +94,8 @@ func (s *Solver) resIRange(ci, lo, hi int) {
 }
 
 // resJRange accumulates the J-direction face fluxes for i-lines [lo, hi).
+//
+//cataero:hotpath
 func (s *Solver) resJRange(ci, lo, hi int) {
 	nj := s.nj
 	met := s.met
@@ -153,6 +157,8 @@ func (s *Solver) resJRange(ci, lo, hi int) {
 
 // axiRange applies the axisymmetric hoop-pressure source for i-lines
 // [lo, hi).
+//
+//cataero:hotpath
 func (s *Solver) axiRange(ci, lo, hi int) {
 	met := s.met
 	for i := lo; i < hi; i++ {
@@ -229,6 +235,8 @@ func (s *Solver) timeSteps() {
 }
 
 // dtRange fills the local time steps for i-lines [lo, hi).
+//
+//cataero:hotpath
 func (s *Solver) dtRange(ci, lo, hi int) {
 	met := s.met
 	nj := s.nj
@@ -281,6 +289,8 @@ func (s *Solver) Step() float64 {
 // stepExplicit advances one explicit two-stage (Heun) local-time step and
 // returns the RMS density residual. Both stages, including the stage-2
 // combine and residual reduction, run on the worker pool.
+//
+//cataero:hotpath
 func (s *Solver) stepExplicit() float64 {
 	s.updatePrimitives()
 	s.timeSteps()
@@ -308,6 +318,8 @@ func (s *Solver) partialSum() float64 {
 
 // stage1Range applies the full forward-Euler stage-1 update for i-lines
 // [lo, hi).
+//
+//cataero:hotpath
 func (s *Solver) stage1Range(ci, lo, hi int) {
 	met := s.met
 	for i := lo; i < hi; i++ {
@@ -323,6 +335,8 @@ func (s *Solver) stage1Range(ci, lo, hi int) {
 
 // stage2Range combines the Heun stages and accumulates the chunk's share of
 // the squared density residual into s.partial.
+//
+//cataero:hotpath
 func (s *Solver) stage2Range(ci, lo, hi int) {
 	met := s.met
 	nj := s.nj

@@ -44,8 +44,11 @@ func NewIdeal(gamma, r float64) *Ideal { return &Ideal{Gamma: gamma, Rgas: r} }
 func (g *Ideal) Name() string { return fmt.Sprintf("ideal (gamma=%.3g)", g.Gamma) }
 
 // PrimState implements Model.
+//
+//cataero:hotpath
 func (g *Ideal) PrimState(rho, e float64) (p, T, a float64, err error) {
 	if rho <= 0 || e <= 0 {
+		//cataero:allow hotpath cold branch: only nonphysical states pay the format
 		return 0, 0, 0, fmt.Errorf("gas: nonphysical ideal state rho=%g e=%g", rho, e)
 	}
 	p = (g.Gamma - 1) * rho * e

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop returns the ctxloop analyzer: in the given packages, march and
+// iteration loops inside context-taking functions must poll ctx.Err() or
+// ctx.Done(), or pass the context to a callee that does. The rule keeps
+// every solve cancellable as new loops are added.
+//
+// A loop is a candidate when its trip count is not a compile-time constant
+// and its body does real work (a call into module code or through a func
+// value). A candidate is satisfied when its body — or an enclosing loop's
+// body, which re-polls every outer iteration — references any
+// context.Context value. Loops that are intentionally uncancellable carry
+// `//cataero:allow ctxloop <reason>`.
+func CtxLoop(pkgSuffixes ...string) *Analyzer {
+	return &Analyzer{
+		Name: "ctxloop",
+		Doc:  "march/iteration loops in solver packages must poll ctx cancellation",
+		Run: func(prog *Program) []Diagnostic {
+			var diags []Diagnostic
+			for _, pkg := range prog.Pkgs {
+				if !pkgMatches(pkg.Path, pkgSuffixes) {
+					continue
+				}
+				for _, file := range pkg.Files {
+					for _, d := range file.Decls {
+						fd, ok := d.(*ast.FuncDecl)
+						if !ok || fd.Body == nil {
+							continue
+						}
+						if !hasCtxParam(pkg, fd) {
+							continue // uncancellable by design (e.g. a single Step)
+						}
+						w := ctxWalk{prog: prog, pkg: pkg, out: &diags}
+						w.stmts(fd.Body.List)
+					}
+				}
+			}
+			SortDiagnostics(diags)
+			return diags
+		},
+	}
+}
+
+func pkgMatches(path string, suffixes []string) bool {
+	if len(suffixes) == 0 {
+		return true
+	}
+	for _, s := range suffixes {
+		if path == s || hasPathSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPathSuffix(path, suffix string) bool {
+	return len(path) > len(suffix)+1 && path[len(path)-len(suffix)-1] == '/' && path[len(path)-len(suffix):] == suffix
+}
+
+func hasCtxParam(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, p := range fd.Type.Params.List {
+		if isContextType(pkg.Info.TypeOf(p.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+type ctxWalk struct {
+	prog *Program
+	pkg  *Package
+	out  *[]Diagnostic
+}
+
+// stmts walks a statement list, recursing into control flow but treating
+// loops specially: a polling loop covers everything inside it, a flagged
+// loop is reported once, and anything else is descended into.
+func (w *ctxWalk) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		ast.Inspect(s, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch l := n.(type) {
+			case *ast.DeferStmt:
+				return false // deferred cleanup runs once at exit; no polling
+			case *ast.ForStmt:
+				body = l.Body
+				if w.loop(n, l.Cond, body) {
+					return false
+				}
+			case *ast.RangeStmt:
+				body = l.Body
+				if w.loop(n, nil, body) {
+					return false
+				}
+			default:
+				return true
+			}
+			// Loop neither polls nor is a candidate (e.g. constant-bounded):
+			// keep scanning its body for nested loops.
+			w.stmts(body.List)
+			return false
+		})
+	}
+}
+
+// loop classifies one loop. It returns true when the subtree is fully
+// handled (polled and therefore covered, or flagged).
+func (w *ctxWalk) loop(n ast.Node, cond ast.Expr, body *ast.BlockStmt) bool {
+	if referencesContext(w.pkg, body) {
+		return true // polls (or hands ctx to a callee) every iteration
+	}
+	if constantBound(w.pkg, cond) {
+		return false
+	}
+	if !hasSignificantCall(w.prog, w.pkg, body) {
+		return false
+	}
+	report(w.prog, w.pkg, w.out, "ctxloop", n.Pos(),
+		"loop does real work but never polls ctx.Err()/ctx.Done(); poll, pass ctx to a callee, or annotate //cataero:allow ctxloop")
+	return true
+}
+
+// referencesContext reports whether the body mentions any context.Context
+// value (ctx.Err(), select on ctx.Done(), or passing ctx along).
+func referencesContext(pkg *Package, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar && isContextType(obj.Type()) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// constantBound reports whether the loop condition compares against a
+// compile-time constant (a fixed, finite trip count).
+func constantBound(pkg *Package, cond ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if tv, ok := pkg.Info.Types[side]; ok && tv.Value != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSignificantCall reports whether the body calls into module code or
+// through a func value — work worth interrupting, as opposed to pure
+// arithmetic and stdlib math.
+func hasSignificantCall(prog *Program, pkg *Package, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		switch fun := ast.Unparen(c.Fun).(type) {
+		case *ast.Ident:
+			switch obj := pkg.Info.Uses[fun].(type) {
+			case *types.Builtin:
+			case *types.Func:
+				if inModule(prog, obj) {
+					found = true
+				}
+			case *types.Var:
+				found = true // func value: opaque, assume expensive
+			case nil:
+				// conversion or unresolved: ignore
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[fun]; ok {
+				switch obj := sel.Obj().(type) {
+				case *types.Func:
+					if inModule(prog, obj) {
+						found = true
+					}
+				case *types.Var:
+					found = true // func-typed field
+				}
+			} else if obj, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+				if inModule(prog, obj) {
+					found = true
+				}
+			}
+		default:
+			found = true // call through an arbitrary expression
+		}
+		return !found
+	})
+	return found
+}
+
+// inModule reports whether the object is declared in a package loaded from
+// source (i.e. inside this module), including interface methods declared on
+// module interfaces.
+func inModule(prog *Program, obj types.Object) bool {
+	p := obj.Pkg()
+	return p != nil && prog.byPath[p.Path()] != nil
+}

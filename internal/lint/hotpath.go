@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath returns the hotpath analyzer: functions annotated
+// //cataero:hotpath, and every in-module function statically reachable from
+// one, must not allocate. The per-step fvm paths hold 0 allocs/op (enforced
+// dynamically by BenchmarkStep*); this is the static half of that contract.
+//
+// Flagged inside the hot call closure:
+//   - append, make, new
+//   - slice and map composite literals, &T{} literals
+//   - function literals (closure allocation)
+//   - implicit or explicit conversions to interface types
+//   - calls into package fmt, string concatenation, string<->[]byte/[]rune
+//   - defer inside a loop
+//
+// Dynamic dispatch (interface methods, func values) is not traversed:
+// annotate the concrete implementations as roots instead. Individual lines
+// are exempted with `//cataero:allow hotpath <reason>`.
+func HotPath() *Analyzer {
+	return &Analyzer{
+		Name: "hotpath",
+		Doc:  "hot-path functions (//cataero:hotpath) and their static callees must not allocate",
+		Run:  runHotPath,
+	}
+}
+
+func runHotPath(prog *Program) []Diagnostic {
+	// Roots: annotated functions anywhere in the loaded source.
+	reached := make(map[*types.Func]string) // how the function entered the closure
+	var queue []*types.Func
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || !hasDirective(fd, "hotpath") {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					reached[obj] = ""
+					queue = append(queue, obj)
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		decl := prog.DeclOf(fn)
+		if decl == nil || decl.Decl.Body == nil {
+			continue
+		}
+		hp := &hotPathWalk{prog: prog, pkg: decl.Pkg, fn: fn, via: reached[fn], out: &diags}
+		hp.block(decl.Decl.Body, 0)
+		for _, callee := range hp.callees {
+			if _, ok := reached[callee]; !ok {
+				reached[callee] = fn.Name()
+				queue = append(queue, callee)
+			}
+		}
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// hotPathWalk scans one function body, collecting allocation diagnostics and
+// the static in-module callees to add to the closure.
+type hotPathWalk struct {
+	prog    *Program
+	pkg     *Package
+	fn      *types.Func
+	via     string // caller that pulled this function into the closure
+	out     *[]Diagnostic
+	callees []*types.Func
+}
+
+func (h *hotPathWalk) report(pos ast.Node, format string, args ...any) {
+	msg := "hot path"
+	if h.via != "" {
+		msg += " (via " + h.via + ")"
+	}
+	report(h.prog, h.pkg, h.out, "hotpath", pos.Pos(), "%s must not allocate: "+format, append([]any{h.fn.Name() + " on " + msg}, args...)...)
+}
+
+// block walks statements tracking loop depth (for the defer-in-loop rule).
+func (h *hotPathWalk) block(n ast.Node, loopDepth int) {
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.ForStmt:
+			if s.Init != nil {
+				h.block(s.Init, loopDepth)
+			}
+			if s.Cond != nil {
+				h.expr(s.Cond)
+			}
+			if s.Post != nil {
+				h.block(s.Post, loopDepth)
+			}
+			h.block(s.Body, loopDepth+1)
+			return false
+		case *ast.RangeStmt:
+			h.expr(s.X)
+			h.block(s.Body, loopDepth+1)
+			return false
+		case *ast.DeferStmt:
+			if loopDepth > 0 {
+				h.report(s, "defer inside a loop allocates and delays cleanup")
+			}
+			h.expr(s.Call)
+			return false
+		case ast.Expr:
+			h.expr(s)
+			return false
+		case *ast.AssignStmt:
+			h.assign(s)
+			return false
+		case *ast.ReturnStmt:
+			h.returnStmt(s)
+			return false
+		}
+		return true
+	})
+}
+
+// expr flags allocating expressions and records static callees.
+func (h *hotPathWalk) expr(e ast.Expr) {
+	info := h.pkg.Info
+	ast.Inspect(e, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.CallExpr:
+			h.call(x)
+			return false
+		case *ast.FuncLit:
+			h.report(x, "function literal allocates a closure")
+			return false
+		case *ast.CompositeLit:
+			switch info.TypeOf(x).Underlying().(type) {
+			case *types.Slice:
+				h.report(x, "slice literal allocates")
+			case *types.Map:
+				h.report(x, "map literal allocates")
+			}
+			// Array and struct literals are values; keep walking their
+			// elements for nested allocating expressions.
+			return true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					h.report(x, "&composite literal escapes to the heap")
+					return false
+				}
+			}
+			return true
+		case *ast.BinaryExpr:
+			if x.Op.String() == "+" {
+				if t, ok := info.TypeOf(x).Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
+					h.report(x, "string concatenation allocates")
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// call handles builtins, conversions, fmt calls, interface-typed arguments
+// and static callee collection.
+func (h *hotPathWalk) call(c *ast.CallExpr) {
+	info := h.pkg.Info
+	fun := ast.Unparen(c.Fun)
+
+	// Conversion T(x)?
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		h.conversion(c, tv.Type)
+		for _, a := range c.Args {
+			h.expr(a)
+		}
+		return
+	}
+
+	var callee types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		callee = info.Uses[f]
+	case *ast.SelectorExpr:
+		h.expr(f.X)
+		if sel, ok := info.Selections[f]; ok {
+			callee = sel.Obj()
+		} else {
+			callee = info.Uses[f.Sel] // package-qualified function
+		}
+	default:
+		h.expr(fun) // dynamic call through an arbitrary expression
+	}
+
+	switch obj := callee.(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "append":
+			h.report(c, "append may grow its backing array")
+		case "make":
+			h.report(c, "make allocates")
+		case "new":
+			h.report(c, "new allocates")
+		}
+	case *types.Func:
+		sig, _ := obj.Type().(*types.Signature)
+		dynamic := sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+		if p := obj.Pkg(); p != nil && p.Path() == "fmt" {
+			h.report(c, "call into package fmt allocates")
+		} else if !dynamic {
+			if decl := h.prog.DeclOf(obj); decl != nil {
+				h.callees = append(h.callees, obj)
+			}
+		}
+	}
+
+	// Interface-typed parameters box concrete arguments.
+	if sig, ok := info.TypeOf(c.Fun).(*types.Signature); ok {
+		h.callArgs(c, sig)
+	}
+	for _, a := range c.Args {
+		h.expr(a)
+	}
+}
+
+// conversion flags interface boxing and string<->byte/rune copies.
+func (h *hotPathWalk) conversion(c *ast.CallExpr, dst types.Type) {
+	if len(c.Args) != 1 {
+		return
+	}
+	src := h.pkg.Info.TypeOf(c.Args[0])
+	if src == nil {
+		return
+	}
+	if types.IsInterface(dst.Underlying()) && !types.IsInterface(src.Underlying()) {
+		h.report(c, "conversion to interface %s allocates", dst.String())
+		return
+	}
+	ds, dOK := dst.Underlying().(*types.Slice)
+	sb, sStr := src.Underlying().(*types.Basic)
+	if dOK && sStr && sb.Info()&types.IsString != 0 {
+		if eb, ok := ds.Elem().Underlying().(*types.Basic); ok && eb.Info()&(types.IsInteger) != 0 {
+			h.report(c, "string to %s conversion copies", dst.String())
+		}
+	}
+	if db, ok := dst.Underlying().(*types.Basic); ok && db.Info()&types.IsString != 0 {
+		if _, isSlice := src.Underlying().(*types.Slice); isSlice {
+			h.report(c, "%s to string conversion copies", src.String())
+		}
+	}
+}
+
+// callArgs flags concrete arguments passed to interface-typed parameters.
+func (h *hotPathWalk) callArgs(c *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	n := params.Len()
+	for i, arg := range c.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= n-1:
+			if c.Ellipsis.IsValid() {
+				pt = params.At(n - 1).Type()
+			} else if sl, ok := params.At(n - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < n:
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			h.ifaceBox(arg, pt, "argument")
+		}
+	}
+}
+
+// ifaceBox flags src being implicitly converted to an interface dst.
+func (h *hotPathWalk) ifaceBox(src ast.Expr, dst types.Type, what string) {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	st := h.pkg.Info.TypeOf(src)
+	if st == nil || types.IsInterface(st.Underlying()) {
+		return
+	}
+	if b, ok := st.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	h.report(src, "%s boxed into interface %s", what, dst.String())
+}
+
+// assign flags interface boxing on assignment.
+func (h *hotPathWalk) assign(s *ast.AssignStmt) {
+	info := h.pkg.Info
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, rhs := range s.Rhs {
+			h.ifaceBox(rhs, info.TypeOf(s.Lhs[i]), "value")
+		}
+	}
+	for _, e := range s.Rhs {
+		h.expr(e)
+	}
+	for _, e := range s.Lhs {
+		h.expr(e) // index expressions etc. on the left can still call
+	}
+}
+
+// returnStmt flags concrete values returned as interface results.
+func (h *hotPathWalk) returnStmt(s *ast.ReturnStmt) {
+	decl := h.prog.DeclOf(h.fn)
+	if decl != nil {
+		if sig, ok := h.fn.Type().(*types.Signature); ok && sig.Results().Len() == len(s.Results) {
+			for i, r := range s.Results {
+				h.ifaceBox(r, sig.Results().At(i).Type(), "return value")
+			}
+		}
+	}
+	for _, r := range s.Results {
+		h.expr(r)
+	}
+}

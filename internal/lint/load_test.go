@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot locates the repository root (the directory holding go.mod) so
+// tests can load real packages regardless of the test working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+func TestLoadTypeChecksModuleFromSource(t *testing.T) {
+	prog, err := Load(moduleRoot(t), "./internal/fvm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fvm := prog.Package("internal/fvm")
+	if fvm == nil {
+		t.Fatal("internal/fvm not loaded")
+	}
+	if fvm.Types.Scope().Lookup("Solver") == nil {
+		t.Error("fvm.Solver not found in type-checked package")
+	}
+	// Dependencies inside the module must be source-checked too, so the
+	// hotpath analyzer can chase calls across package boundaries.
+	num := prog.Package("internal/numerics")
+	if num == nil {
+		t.Fatal("in-module dependency internal/numerics not source-loaded")
+	}
+	if len(num.Files) == 0 {
+		t.Error("internal/numerics loaded without syntax")
+	}
+	if len(prog.Targets) != 1 || prog.Targets[0] != fvm {
+		t.Errorf("Targets = %v, want just internal/fvm", prog.Targets)
+	}
+}

@@ -1,0 +1,111 @@
+// Package ctxloopfix exercises the ctxloop analyzer: Bad must be flagged,
+// every other function shows an exemption the analyzer honors. The `// want`
+// comments are matched by TestCtxLoopFixture.
+package ctxloopfix
+
+import "context"
+
+type closer struct{}
+
+func (closer) close() {}
+
+func work(x float64) float64 { return x * x }
+
+func workCtx(ctx context.Context, x float64) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return work(x)
+}
+
+// Bad marches over its input without ever polling: flagged.
+func Bad(ctx context.Context, xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs { // want "never polls ctx"
+		t += work(x)
+	}
+	return t
+}
+
+// Polled is the model loop: an explicit ctx.Err() check every iteration.
+func Polled(ctx context.Context, xs []float64) (float64, error) {
+	t := 0.0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		t += work(x)
+	}
+	return t, nil
+}
+
+// Delegated hands ctx to the callee, which polls on the loop's behalf.
+func Delegated(ctx context.Context, xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += workCtx(ctx, x)
+	}
+	return t
+}
+
+// ConstBound has a compile-time trip count: exempt.
+func ConstBound(ctx context.Context, xs []float64) float64 {
+	t := 0.0
+	for i := 0; i < 4; i++ {
+		t += work(xs[i])
+	}
+	return t
+}
+
+// PureMath does no significant work per iteration: exempt.
+func PureMath(ctx context.Context, xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x*x + 2*x
+	}
+	return t
+}
+
+// OuterPolled polls in the outer loop, which re-checks every outer iteration
+// and therefore covers the inner march.
+func OuterPolled(ctx context.Context, grid [][]float64) float64 {
+	t := 0.0
+	for _, row := range grid {
+		if ctx.Err() != nil {
+			return t
+		}
+		for _, x := range row {
+			t += work(x)
+		}
+	}
+	return t
+}
+
+// DeferredCleanup loops inside a defer: cleanup runs once at exit, exempt.
+func DeferredCleanup(ctx context.Context, cs []closer) error {
+	defer func() {
+		for _, c := range cs {
+			c.close()
+		}
+	}()
+	return ctx.Err()
+}
+
+// Allowed carries an explicit suppression with its reason.
+func Allowed(ctx context.Context, xs []float64) float64 {
+	t := 0.0
+	//cataero:allow ctxloop one-off setup sweep, cheap per element
+	for _, x := range xs {
+		t += work(x)
+	}
+	return t
+}
+
+// NoCtx takes no context: uncancellable by design, out of scope.
+func NoCtx(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += work(x)
+	}
+	return t
+}

@@ -1,0 +1,66 @@
+// Package hotpathfix exercises the hotpath analyzer: root trips each
+// allocation rule once, root2 pulls helper into the closure through a static
+// call, and clean must stay silent. The `// want` comments are matched by
+// TestHotPathFixture.
+package hotpathfix
+
+import "fmt"
+
+type pair struct{ x, y float64 }
+
+type doer interface{ do() }
+
+type nop struct{}
+
+func (nop) do() {}
+
+// root trips the direct allocation rules.
+//
+//cataero:hotpath
+func root(n int, s string) float64 {
+	buf := make([]float64, n)        // want "make allocates"
+	ys := []float64{1, 2}            // want "slice literal allocates"
+	seen := map[int]bool{}           // want "map literal allocates"
+	p := &pair{x: 1}                 // want "&composite literal escapes to the heap"
+	f := func() float64 { return 0 } // want "function literal allocates a closure"
+	b := []byte(s)                   // want "string to \[\]byte conversion copies"
+	s2 := s + "!"                    // want "string concatenation allocates"
+	var d doer
+	d = nop{}      // want "value boxed into interface"
+	d.do()         // dynamic dispatch: not traversed, annotate the impl instead
+	fmt.Println(n) // want "call into package fmt allocates" "argument boxed into interface"
+	for i := 0; i < n; i++ {
+		defer f() // want "defer inside a loop allocates and delays cleanup"
+	}
+	//cataero:allow hotpath fixture: a proven-cold formatting branch
+	extra := fmt.Sprintln(n)
+	return buf[0] + ys[0] + float64(len(seen)) + p.x + f() +
+		float64(len(b)) + float64(len(s2)) + float64(len(extra))
+}
+
+// helper is not annotated; it inherits the contract from root2's static call.
+func helper(dst []int, v int) []int {
+	return append(dst, v) // want "append may grow its backing array"
+}
+
+// root2 pulls helper into the hot closure.
+//
+//cataero:hotpath
+func root2(dst []int) []int {
+	return helper(dst, 1)
+}
+
+// clean is annotated and allocation-free: array values, plain arithmetic and
+// a static call to another clean function produce no diagnostics.
+//
+//cataero:hotpath
+func clean(a, b float64) [4]float64 {
+	var out [4]float64
+	out[0] = a + b
+	out[1] = a * b
+	out[2] = square(a)
+	out[3] = square(b)
+	return out
+}
+
+func square(a float64) float64 { return a * a }

@@ -1,0 +1,11 @@
+// Package ok is configured as a property package in TestPhysConstFixture:
+// these constants are where they belong and stay unflagged.
+package ok
+
+// RAir is the fixture's blessed home for the air gas constant.
+const RAir = 287.05
+
+// Sutherland returns the fixture's blessed viscosity law.
+func Sutherland(t float64) float64 {
+	return 1.458e-6 * t * t / (t + 110.4)
+}

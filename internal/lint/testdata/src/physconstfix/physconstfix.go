@@ -1,0 +1,41 @@
+// Package physconstfix exercises the physconst analyzer: unambiguous
+// physical constants are flagged anywhere, ambiguous values (1.4, 110.4) only
+// with a hinted name or statement co-occurrence. The `// want` comments are
+// matched by TestPhysConstFixture.
+package physconstfix
+
+// Unambiguous values are flagged wherever they appear.
+const rAir = 287.05 // want "magic number 287.05 is the air specific gas constant"
+
+var atm = 101325 // want "magic number 101325 is the standard atmosphere"
+
+// Perfect is the classic p = rho*R*T with the magic R.
+func Perfect(rho, t float64) float64 {
+	return rho * 287.05 * t // want "use thermo.RAir"
+}
+
+// A plain 1.4 with no physical meaning stays exempt.
+const refitMargin = 1.4
+
+// A hinted name promotes the ambiguous value to a finding.
+const gammaCold = 1.4 // want "ratio of specific heats"
+
+// SoundSpeedSq co-locates 1.4 with 287.05, disambiguating both.
+func SoundSpeedSq(t float64) float64 {
+	return 1.4 * 287.05 * t // want "ratio of specific heats" "air specific gas constant"
+}
+
+// Viscosity uses the Sutherland coefficient, unambiguous at full precision.
+func Viscosity(t float64) float64 {
+	return 1.458e-6 * t // want "Sutherland viscosity coefficient"
+}
+
+// The Sutherland temperature needs a hinted name...
+var sutherlandT = 110.4 // want "Sutherland temperature"
+
+// ...and without one it is just a number.
+var tJunction = 110.4
+
+func use(a, b float64) float64 { return a + b }
+
+var _ = use(rAir, use(float64(atm), use(refitMargin, use(gammaCold, use(sutherlandT, tJunction)))))

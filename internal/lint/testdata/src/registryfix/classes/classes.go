@@ -1,0 +1,30 @@
+// Package classes is the class-keyed registry of the registry-analyzer
+// fixture: ClassB is registered but missing from the classNames map, so the
+// analyzer must flag the drift at the map.
+package classes
+
+// Class keys the registry.
+type Class int
+
+// The registered classes.
+const (
+	ClassA Class = iota
+	ClassB
+)
+
+// Solver is the registered implementation.
+type Solver struct{}
+
+var registry = map[Class]Solver{}
+
+// Register adds a solver under its class.
+func Register(c Class, s Solver) { registry[c] = s }
+
+var classNames = map[Class]string{ // want "registered solver classes .* disagree"
+	ClassA: "a",
+}
+
+func init() {
+	Register(ClassA, Solver{})
+	Register(ClassB, Solver{})
+}

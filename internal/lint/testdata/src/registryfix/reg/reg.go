@@ -1,0 +1,40 @@
+// Package reg is the well-formed registry of the registry-analyzer fixture:
+// constant names, an exported enumerator, and implementations whose Name()
+// methods return constants. TestRegistryFixture checks it stays silent.
+package reg
+
+// Widget is the registered implementation interface.
+type Widget interface{ Name() string }
+
+// Exported name constants; consumers must use these instead of bare strings.
+const (
+	WidgetAlpha = "alpha"
+	WidgetBeta  = "beta"
+)
+
+var widgets = map[string]Widget{}
+
+// RegisterWidget adds an implementation under its Name().
+func RegisterWidget(w Widget) { widgets[w.Name()] = w }
+
+type alphaWidget struct{}
+
+func (alphaWidget) Name() string { return WidgetAlpha }
+
+type betaWidget struct{}
+
+func (betaWidget) Name() string { return WidgetBeta }
+
+func init() {
+	RegisterWidget(alphaWidget{})
+	RegisterWidget(betaWidget{})
+}
+
+// Widgets enumerates the registered names.
+func Widgets() []string {
+	out := make([]string, 0, len(widgets))
+	for k := range widgets {
+		out = append(out, k)
+	}
+	return out
+}

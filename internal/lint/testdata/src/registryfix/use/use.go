@@ -1,0 +1,27 @@
+// Package use consumes the fixture registries: it wires the fail-fast call
+// and the case-spec surface for the well-formed family, and spells two
+// registry names as bare literals the analyzer must flag.
+package use
+
+import "cataero/internal/lint/testdata/src/registryfix/reg"
+
+// Spec is the fixture case-spec surface.
+type Spec struct {
+	Widget string `json:"widget"`
+}
+
+// Build resolves the spec's widget choice.
+func Build(s Spec) string {
+	if s.Widget == "" {
+		return reg.WidgetAlpha
+	}
+	return s.Widget
+}
+
+// Known wires the fail-fast enumerator call.
+func Known() []string { return reg.Widgets() }
+
+// Bad spells registry names as bare literals.
+func Bad() (string, string) {
+	return "alpha", "gamma" // want "bare widget name .alpha." "bare orphan widget name .gamma."
+}

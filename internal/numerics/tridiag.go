@@ -155,10 +155,13 @@ func NewBlockTridiagWorkspace(m int) *BlockTridiagWorkspace {
 // modified during the factorization. A's first block and C's last block are
 // ignored. The flat layout keeps a whole line's system contiguous in memory
 // and the workspace makes repeated solves allocation-free.
+//
+//cataero:hotpath
 func (w *BlockTridiagWorkspace) SolveFlat(A, B, C, D []float64, n int) error {
 	m := w.m
 	mm := m * m
 	if len(A) < n*mm || len(B) < n*mm || len(C) < n*mm || len(D) < n*m {
+		//cataero:allow hotpath cold misuse guard; never taken on a sized workspace
 		return fmt.Errorf("numerics: block tridiag flat length mismatch (n=%d, m=%d)", n, m)
 	}
 	for i := 0; i < n; i++ {

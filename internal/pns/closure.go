@@ -87,6 +87,13 @@ func IdealProps(gamma, r float64) Props {
 // axisymmetric body at freestream (p, T, V): normal-shock pitot stagnation
 // state, modified-Newtonian pressures and a closed-form isentrope.
 func IdealEdgeDistribution(gamma, r float64, fs blayer.FreeStream, body geometry.Body, ns int) ([]blayer.EdgeState, error) {
+	return IdealEdgeDistributionProgress(gamma, r, fs, body, ns, nil)
+}
+
+// IdealEdgeDistributionProgress is IdealEdgeDistribution with a per-station
+// (station, total) callback, so drivers can surface the setup sweep the same
+// way the equilibrium edge distribution does.
+func IdealEdgeDistributionProgress(gamma, r float64, fs blayer.FreeStream, body geometry.Body, ns int, progress func(station, total int)) ([]blayer.EdgeState, error) {
 	cp := gamma * r / (gamma - 1)
 	a1 := math.Sqrt(gamma * r * fs.T)
 	m1 := fs.V / a1
@@ -125,6 +132,9 @@ func IdealEdgeDistribution(gamma, r float64, fs blayer.FreeStream, body geometry
 		out[i] = blayer.EdgeState{
 			S: s, P: pe, T: Te, Rho: pe / (r * Te), H: he,
 			Ue: math.Sqrt(ue2), Mu: transport.Sutherland(Te), R: rr,
+		}
+		if progress != nil {
+			progress(i+1, ns)
 		}
 	}
 	return out, nil

@@ -23,3 +23,13 @@ const (
 	AtmPa   = 101325.0        // standard atmosphere, Pa
 	SigmaSB = 5.670374419e-8  // Stefan-Boltzmann constant, W/(m^2 K^4)
 )
+
+// Cold-air closure constants: the specific gas constant and ratio of
+// specific heats of undissociated air, used by the ideal-gas paths (PNS
+// ideal closure, NS/Euler ideal EOS defaults, free-flight Mach numbers).
+// The catlint physconst analyzer flags the raw numbers outside the property
+// packages, so every ideal-air path shares these values.
+const (
+	RAir     = 287.05 // specific gas constant of air, J/(kg K)
+	GammaAir = 1.4    // ratio of specific heats of diatomic air
+)

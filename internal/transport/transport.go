@@ -170,12 +170,16 @@ func (t *Mixture) DiffusionCoefficient(rho, T float64, y []float64, lewis float6
 
 // Sutherland returns the Sutherland-law air viscosity, the standard model
 // for the ideal-gas solver paths: mu = 1.458e-6 T^1.5/(T+110.4).
+//
+//cataero:hotpath
 func Sutherland(T float64) float64 {
 	return 1.458e-6 * T * math.Sqrt(T) / (T + 110.4)
 }
 
 // SutherlandConductivity returns the matching ideal-air conductivity using
 // a constant Prandtl number 0.72 and cp = 1004.5 J/(kg K).
+//
+//cataero:hotpath
 func SutherlandConductivity(T float64) float64 {
 	return Sutherland(T) * 1004.5 / 0.72
 }

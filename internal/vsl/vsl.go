@@ -35,10 +35,12 @@ type Inputs struct {
 	Rn    float64 // nose radius
 	TWall float64
 	NPts  int // stagnation-line output points (default 60)
-	// Progress, when non-nil, is invoked after each converged stagnation-
-	// line profile point with (point, total). It runs on the solving
-	// goroutine and must be cheap.
-	Progress func(point, total int)
+	// Progress, when non-nil, is invoked after each converged step of the
+	// expensive phases with (phase, point, total): phase "profile" covers the
+	// NPts stagnation-line re-equilibrations, phase "radiation" the NPts-1
+	// tangent-slab layer states (each another equilibrium solve). It runs on
+	// the solving goroutine and must be cheap.
+	Progress func(phase string, point, total int)
 }
 
 // Result is the converged stagnation-line solution.
@@ -119,7 +121,7 @@ func Solve(ctx context.Context, in Inputs) (*Result, error) {
 		res.T[i] = T
 		res.Species[i] = yc
 		if in.Progress != nil {
-			in.Progress(i+1, in.NPts)
+			in.Progress("profile", i+1, in.NPts)
 		}
 	}
 
@@ -144,6 +146,9 @@ func Solve(ctx context.Context, in Inputs) (*Result, error) {
 				T:         Tm, Tex: Tm,
 				N: m.NumberDensities(rhomid, ymid),
 			})
+			if in.Progress != nil {
+				in.Progress("radiation", i, in.NPts-1)
+			}
 		}
 		slab := in.Rad.SolveSlab(layers)
 		res.QRad = slab.QWall
