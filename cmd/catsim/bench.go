@@ -20,7 +20,7 @@ import (
 // cases mirror internal/fvm/bench_test.go via the shared
 // fvm.ReferenceViscousCase configuration: per-step costs of the explicit,
 // viscous and line-implicit paths, and wall-clock solve comparisons of
-// explicit vs single-level implicit vs multilevel implicit at two grid
+// explicit vs single-level implicit vs multilevel implicit at three grid
 // sizes.
 func benchCmd(args []string) int {
 	fs := flag.NewFlagSet("catsim bench", flag.ExitOnError)
@@ -232,8 +232,9 @@ func runBenchmarks() ([]BenchResult, error) {
 	}
 
 	// Converged solves: single-level explicit and implicit, and the
-	// multilevel default (3-level cascade, implicit smoothing) at two grid
-	// sizes — the multilevel win grows with resolution.
+	// multilevel default (3-level cascade, implicit smoothing) at three
+	// grid sizes — the multilevel win grows with resolution, and the
+	// 20x32 pairing tracks where the crossover sits on the Fig. 9 grid.
 	threeLevel := &fvm.SequenceOptions{Levels: 3}
 	var steps float64
 	for _, c := range []struct {
@@ -244,6 +245,7 @@ func runBenchmarks() ([]BenchResult, error) {
 	}{
 		{"SolveExplicit_20x32", 20, 32, fvm.TimeSteppingExplicit, nil},
 		{"SolveImplicit_20x32", 20, 32, fvm.TimeSteppingImplicit, nil},
+		{"SolveMultigrid_20x32", 20, 32, fvm.TimeSteppingImplicit, threeLevel},
 		{"SolveImplicit_40x64", 40, 64, fvm.TimeSteppingImplicit, nil},
 		{"SolveMultigrid_40x64", 40, 64, fvm.TimeSteppingImplicit, threeLevel},
 		{"SolveImplicit_80x128", 80, 128, fvm.TimeSteppingImplicit, nil},

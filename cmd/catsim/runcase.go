@@ -21,6 +21,7 @@ func runCmd(args []string) int {
 	fluxName := fs.String("flux", "", "override the case's flux kernel (see 'catsim kernels')")
 	timestep := fs.String("timestep", "", "override the case's time integrator (explicit, implicit)")
 	limiter := fs.String("limiter", "", "override the case's MUSCL slope limiter (minmod, vanalbada)")
+	freezeLim := fs.Float64("freezelimiter", 0, "freeze the MUSCL limiter once the residual has dropped by this factor (0 = case/off)")
 	levels := fs.Int("levels", 0, "override the case's multilevel grid-level count (2 = two-level, 3+ = deeper)")
 	cycle := fs.String("cycle", "", "override the case's multigrid cycle (cascade, v)")
 	refitEvery := fs.Int("refitevery", 0, "re-fit the outer boundary to the shock locus every N fine steps")
@@ -52,6 +53,10 @@ func runCmd(args []string) int {
 		fmt.Fprintln(os.Stderr, "catsim run: -levels and -refitevery must be non-negative")
 		return 2
 	}
+	if *freezeLim < 0 || *freezeLim >= 1 {
+		fmt.Fprintln(os.Stderr, "catsim run: -freezelimiter must be in [0, 1)")
+		return 2
+	}
 
 	p, err := cataero.LoadCase(path)
 	if err != nil {
@@ -66,6 +71,9 @@ func runCmd(args []string) int {
 	}
 	if *limiter != "" {
 		p.Limiter = *limiter
+	}
+	if *freezeLim != 0 {
+		p.FreezeLimiterAt = *freezeLim
 	}
 	if *levels != 0 {
 		p.Levels = *levels

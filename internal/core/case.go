@@ -49,6 +49,9 @@ type CaseSpec struct {
 	// Limiter is the MUSCL slope-limiter name ("minmod", "vanalbada");
 	// empty defers to the session or solver default.
 	Limiter string `json:"limiter,omitempty"`
+	// FreezeLimiterAt freezes the MUSCL limiter once the residual has
+	// dropped by this factor (must be in (0, 1); 0 = off / session default).
+	FreezeLimiterAt float64 `json:"freeze_limiter_at,omitempty"`
 	// GridSequencing is "" (session default), "on" or "off".
 	GridSequencing string `json:"grid_sequencing,omitempty"`
 	// Levels is the multilevel grid-level count (0 = session default; 2 =
@@ -218,15 +221,16 @@ func SpecOf(p Problem) (CaseSpec, error) {
 		TWall: p.TWall, GammaW: p.GammaW,
 		Radiation: p.Radiation,
 		NStations: p.NStations, NI: p.NI, NJ: p.NJ, MaxSteps: p.MaxSteps,
-		Flux:           p.Flux,
-		TimeStepping:   p.TimeStepping,
-		CFLRamp:        ramp,
-		Limiter:        p.Limiter,
-		GridSequencing: toggleName(p.GridSequencing),
-		Levels:         p.Levels,
-		Cycle:          p.Cycle,
-		SmoothSteps:    p.SmoothSteps,
-		RefitEvery:     p.RefitEvery,
+		Flux:            p.Flux,
+		TimeStepping:    p.TimeStepping,
+		CFLRamp:         ramp,
+		Limiter:         p.Limiter,
+		FreezeLimiterAt: p.FreezeLimiterAt,
+		GridSequencing:  toggleName(p.GridSequencing),
+		Levels:          p.Levels,
+		Cycle:           p.Cycle,
+		SmoothSteps:     p.SmoothSteps,
+		RefitEvery:      p.RefitEvery,
 	}, nil
 }
 
@@ -254,6 +258,9 @@ func (c CaseSpec) Problem() (Problem, error) {
 	if c.RefitEvery < 0 {
 		return Problem{}, fmt.Errorf("core: refit_every %d negative", c.RefitEvery)
 	}
+	if c.FreezeLimiterAt < 0 || c.FreezeLimiterAt >= 1 {
+		return Problem{}, fmt.Errorf("core: freeze_limiter_at %g outside [0, 1)", c.FreezeLimiterAt)
+	}
 	p := Problem{
 		Name:      c.Name,
 		Class:     class,
@@ -264,14 +271,15 @@ func (c CaseSpec) Problem() (Problem, error) {
 		TWall:      c.TWall, GammaW: c.GammaW,
 		Radiation: c.Radiation,
 		NStations: c.NStations, NI: c.NI, NJ: c.NJ, MaxSteps: c.MaxSteps,
-		Flux:           c.Flux,
-		TimeStepping:   c.TimeStepping,
-		Limiter:        c.Limiter,
-		GridSequencing: seq,
-		Levels:         c.Levels,
-		Cycle:          c.Cycle,
-		SmoothSteps:    c.SmoothSteps,
-		RefitEvery:     c.RefitEvery,
+		Flux:            c.Flux,
+		TimeStepping:    c.TimeStepping,
+		Limiter:         c.Limiter,
+		FreezeLimiterAt: c.FreezeLimiterAt,
+		GridSequencing:  seq,
+		Levels:          c.Levels,
+		Cycle:           c.Cycle,
+		SmoothSteps:     c.SmoothSteps,
+		RefitEvery:      c.RefitEvery,
 	}
 	if c.CFLRamp != nil {
 		p.CFLRamp = fvm.CFLRamp{Start: c.CFLRamp.Start, Growth: c.CFLRamp.Growth, Max: c.CFLRamp.Max}

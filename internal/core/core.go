@@ -176,6 +176,12 @@ type Problem struct {
 	// climb past the minmod limit cycle.
 	Limiter string
 
+	// FreezeLimiterAt freezes the MUSCL limiter for the NS and Euler
+	// shock-shape classes once the residual has dropped by this factor
+	// (e.g. 1e-2), replaying the recorded slopes for the rest of the march.
+	// Must be in (0, 1); 0 disables (or defers to the session default).
+	FreezeLimiterAt float64
+
 	// GridSequencing controls grid-sequenced NS and Euler shock-shape
 	// solves (converge on a coarsened grid, then finish on the fine grid
 	// from the interpolated coarse state). The zero value defers to the

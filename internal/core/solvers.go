@@ -291,7 +291,7 @@ func (nsSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment, 
 		TWall: p.TWall, MaxSteps: p.MaxSteps,
 		Mu: p.Mu, K: p.K,
 		Flux: p.Flux, TimeStepping: p.TimeStepping, CFLRamp: p.CFLRamp,
-		Limiter:  p.Limiter,
+		Limiter: p.Limiter, FreezeLimiterAt: p.FreezeLimiterAt,
 		Sequence: sequenceFor(p),
 		Pool:     st.Pool(), Progress: fvmProgress(p, "ns"),
 	})
@@ -337,7 +337,7 @@ func ShockShapeWith(ctx context.Context, st *Stack, p Problem) (*ShockEnvelope, 
 		MaxSteps: p.MaxSteps,
 		Standoff: p.Standoff,
 		Flux:     p.Flux, TimeStepping: p.TimeStepping, CFLRamp: p.CFLRamp,
-		Limiter:  p.Limiter,
+		Limiter: p.Limiter, FreezeLimiterAt: p.FreezeLimiterAt,
 		Sequence: sequenceFor(p),
 		Pool:     st.Pool(), Progress: fvmProgress(p, "euler"),
 	})

@@ -156,8 +156,10 @@ func BenchmarkSolveImplicit(b *testing.B) {
 // BenchmarkSolveMultigrid converges the same viscous case through the
 // multilevel driver (3-level cascade, line-implicit smoothing on every
 // level) — the headline comparison against BenchmarkSolveImplicit at the
-// same sizes: ~1.7x at 40x64 and ~2.3x at 80x128 (the 20x32 grid is too
-// small to amortize the hierarchy and roughly breaks even).
+// same sizes: ~1.7x at 40x64 and ~2.3x at 80x128. The 20x32 grid is too
+// small to amortize the hierarchy and runs ~15% behind single-level — the
+// crossover sits between 20x32 and 40x64, and `catsim bench`'s
+// SolveMultigrid_20x32 entry tracks it per PR.
 func BenchmarkSolveMultigrid(b *testing.B) {
 	for _, sz := range benchSizes {
 		b.Run(fmt.Sprintf("%dx%d", sz[0], sz[1]), func(b *testing.B) {

@@ -33,6 +33,7 @@ const DefaultFlux = FluxHLLE
 
 func init() {
 	RegisterFlux(hlleKernel{})
+	RegisterFlux(hlleEFKernel{})
 	RegisterFlux(hllcKernel{})
 	RegisterFlux(ausmKernel{})
 }
@@ -96,8 +97,8 @@ type hlleKernel struct{}
 
 func (hlleKernel) Name() string { return FluxHLLE }
 
-// minmod is the minmod limited slope: the smaller one-sided difference,
-// or zero at extrema.
+// Flux is the HLLE flux: pure upwind outside the estimated wave fan and
+// the integral average of the Riemann fan inside it.
 //
 //cataero:hotpath
 func (hlleKernel) Flux(L, R Prim, nx, ny, area float64) Cons {
@@ -131,6 +132,56 @@ func (hlleKernel) Flux(L, R Prim, nx, ny, area float64) Cons {
 // left state L to right state R.
 func hlle(L, R Prim, sx, sy float64) Cons {
 	return kernelFluxVec(hlleKernel{}, L, R, sx, sy)
+}
+
+// --- HLLE with entropy fix ---
+
+type hlleEFKernel struct{}
+
+func (hlleEFKernel) Name() string { return FluxHLLEEF }
+
+// entropyFixFrac scales the hlle-ef dissipation floor: the left and right
+// wave-speed estimates are pushed at least entropyFixFrac times the mean
+// face sound speed away from zero. 0.1 is the customary Harten-style
+// choice — wide enough to break an expansion shock, narrow enough to leave
+// captured shocks crisp.
+const entropyFixFrac = 0.1
+
+// Flux is the HLLE flux with an entropy fix: the wave-speed estimates are
+// floored away from zero by a fraction of the mean sound speed, so the
+// scheme never collapses onto the pure-upwind branch at a sonic point.
+// Plain HLLE can lock in an entropy-violating expansion shock exactly
+// there (the left and right fluxes agree across the jump and the
+// dissipation vanishes); the floor keeps the fan averaged and smears the
+// jump into the physical rarefaction at the cost of O(delta) extra
+// dissipation everywhere.
+//
+//cataero:hotpath
+func (hlleEFKernel) Flux(L, R Prim, nx, ny, area float64) Cons {
+	unL := L.U*nx + L.V*ny
+	unR := R.U*nx + R.V*ny
+	sl := math.Min(unL-L.A, unR-R.A)
+	sr := math.Max(unL+L.A, unR+R.A)
+	d := entropyFixFrac * 0.5 * (L.A + R.A)
+	if sl > -d {
+		sl = -d
+	}
+	if sr < d {
+		sr = d
+	}
+	fL := physFlux(L, nx, ny)
+	fR := physFlux(R, nx, ny)
+	uL := consOf(L)
+	uR := consOf(R)
+	inv := 1 / (sr - sl)
+	var f Cons
+	for k := 0; k < 4; k++ {
+		f[k] = (sr*fL[k] - sl*fR[k] + sl*sr*(uR[k]-uL[k])) * inv
+	}
+	for k := 0; k < 4; k++ {
+		f[k] *= area
+	}
+	return f
 }
 
 // --- HLLC ---

@@ -70,9 +70,18 @@ type Options struct {
 	// CFLRamp configures the implicit integrator's CFL schedule; zero-value
 	// fields take the DefaultCFLRamp defaults. The explicit integrator
 	// ignores it and uses CFL directly.
-	CFLRamp      CFLRamp
-	FreestreamV  [2]float64 // freestream velocity (x, y components)
-	FreestreamPT [2]float64 // freestream pressure, temperature
+	CFLRamp CFLRamp
+	// FreezeLimiterAt, when positive, freezes the MUSCL limiter once the
+	// RMS density residual has dropped below FreezeLimiterAt times its
+	// initial value (so it must be in (0, 1); 0 disables freezing): the
+	// next step records every interior face's applied limiter offsets and
+	// later steps replay them, removing the limiter evaluations and outer-
+	// stencil gathers from the endgame of a converged-shock march. A
+	// mid-march grid refit invalidates the recorded offsets and drops back
+	// to live limiting until the threshold latches again.
+	FreezeLimiterAt float64
+	FreestreamV     [2]float64 // freestream velocity (x, y components)
+	FreestreamPT    [2]float64 // freestream pressure, temperature
 	// Pool, when non-nil, is a shared worker pool for the parallel sweeps;
 	// the solver does not own it and Close leaves it running. When nil the
 	// solver builds a private GOMAXPROCS-sized pool and releases it on
@@ -102,8 +111,21 @@ type Solver struct {
 
 	met  *grid.Metrics // precomputed face vectors, volumes, centroids
 	flux FluxKernel
-	lim  LimiterFunc // MUSCL slope limiter (Options.Limiter)
-	pool *Pool
+	// batch is the kernel's batched fast path, type-asserted once here so
+	// the sweeps pay no per-face interface dispatch; nil when the kernel
+	// has no batched form (the sweeps then fall back to scalar Flux calls
+	// over the same pencils).
+	batch BatchFluxKernel
+	lim   LimiterFunc // MUSCL slope limiter (Options.Limiter)
+	// limKind specializes the batched reconstruction's limiter calls (see
+	// recon.go); limMode/limFirst drive the frozen-limiter state machine
+	// and frzI/frzJ hold the recorded per-face limiter offsets (allocated
+	// only when Options.FreezeLimiterAt is set).
+	limKind    int
+	limMode    int
+	limFirst   float64
+	frzI, frzJ []float64
+	pool       *Pool
 	// ownsPool marks a private pool (no Options.Pool) that Close releases.
 	ownsPool bool
 	// phase labels Progress callbacks ("solve"; SolveSequenced relabels its
@@ -118,12 +140,16 @@ type Solver struct {
 	cfl float64
 
 	// Per-step sweep machinery, allocated once so Step is allocation-free:
-	// prebuilt range closures (method values), the reusable sweep WaitGroup,
-	// and the per-chunk partial sums of the residual reduction.
-	sweepWG                      sync.WaitGroup
-	partial                      []float64
-	swPrim, swDT, swResI, swResJ func(ci, lo, hi int)
-	swAxi, swStage1, swStage2    func(ci, lo, hi int)
+	// prebuilt range closures (method values), the reusable sweep
+	// WaitGroup, the per-chunk partial sums of the residual reduction, the
+	// face-major flux planes the residual passes difference, and the
+	// per-chunk SoA face-state pencils of the batched reconstruction.
+	sweepWG                        sync.WaitGroup
+	partial                        []float64
+	fluxI, fluxJ                   []float64 // face-major (4/face) flux planes
+	bws                            []batchWS
+	swPrim, swDT, swFluxI, swFluxJ func(ci, lo, hi int)
+	swAccum, swStage1, swStage2    func(ci, lo, hi int)
 
 	uInf      Cons
 	pInf      Prim
@@ -145,6 +171,9 @@ func New(g *grid.Grid2D, o Options) (*Solver, error) {
 	}
 	if o.MUSCL && (g.NI < 4 || g.NJ < 4) {
 		return nil, fmt.Errorf("fvm: MUSCL needs at least a 4x4 grid, got %dx%d", g.NI, g.NJ)
+	}
+	if o.FreezeLimiterAt < 0 || o.FreezeLimiterAt >= 1 {
+		return nil, fmt.Errorf("fvm: FreezeLimiterAt %g outside [0, 1)", o.FreezeLimiterAt)
 	}
 	flux, err := FluxKernelFor(o.Flux)
 	if err != nil {
@@ -186,14 +215,39 @@ func New(g *grid.Grid2D, o Options) (*Solver, error) {
 		s.pool = NewPool(0)
 		s.ownsPool = true
 	}
-	// Hoist the per-step sweep closures and reduction scratch out of the hot
-	// loop: method values bind once here, so Step allocates nothing.
+	// Hoist the per-step sweep closures, reduction scratch, flux planes and
+	// reconstruction pencils out of the hot loop: everything binds and
+	// allocates once here, so Step allocates nothing.
 	s.partial = make([]float64, s.pool.chunkCount(s.ni))
+	s.fluxI = make([]float64, 4*(s.ni+1)*s.nj)
+	s.fluxJ = make([]float64, 4*s.ni*(s.nj+1))
+	nws := s.pool.chunkCount(s.ni + 1)
+	if c := s.pool.chunkCount(s.ni); c > nws {
+		nws = c
+	}
+	s.bws = make([]batchWS, nws)
+	for w := range s.bws {
+		s.bws[w].L = newFaceStates(s.nj)
+		s.bws[w].R = newFaceStates(s.nj)
+	}
+	s.batch, _ = flux.(BatchFluxKernel)
+	switch o.Limiter {
+	case "", LimiterMinmod:
+		s.limKind = limKindMinmod
+	case LimiterVanAlbada:
+		s.limKind = limKindVanAlbada
+	default:
+		s.limKind = limKindGeneric
+	}
+	if o.FreezeLimiterAt > 0 && o.MUSCL {
+		s.frzI = make([]float64, 8*(s.ni+1)*s.nj)
+		s.frzJ = make([]float64, 8*s.ni*(s.nj+1))
+	}
 	s.swPrim = s.primRange
 	s.swDT = s.dtRange
-	s.swResI = s.resIRange
-	s.swResJ = s.resJRange
-	s.swAxi = s.axiRange
+	s.swFluxI = s.fluxIRange
+	s.swFluxJ = s.fluxJRange
+	s.swAccum = s.accumRange
 	s.swStage1 = s.stage1Range
 	s.swStage2 = s.stage2Range
 	if s.stepper, err = integ.NewStepper(s); err != nil {

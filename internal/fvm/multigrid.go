@@ -172,9 +172,10 @@ func (m *multilevel) levelTol(l int) float64 {
 // target scale.
 func (m *multilevel) cascade(ctx context.Context) (float64, error) {
 	L := len(m.solvers)
+	abs := 0.0 // coarsest level anchors to its own freestream-started first step
 	for l := L - 1; l >= 1; l-- {
 		s := m.solvers[l]
-		if _, err := m.relax(ctx, l, m.sq.CoarseMaxSteps, m.levelTol(l)); err != nil {
+		if _, err := m.relax(ctx, l, m.sq.CoarseMaxSteps, m.levelTol(l), abs); err != nil {
 			return 0, err
 		}
 		finer := m.solvers[l-1]
@@ -187,25 +188,27 @@ func (m *multilevel) cascade(ctx context.Context) (float64, error) {
 				return 0, err
 			}
 		}
-		if l-1 == 0 {
-			// Calibrate the finest absolute target from the freestream state
-			// before injecting, exactly like the two-level path: one
-			// freestream-started step gives the residual scale a plain fine
-			// solve would have latched onto.
-			r0 := finer.Step()
-			if math.IsNaN(r0) || r0 <= 0 {
-				return 0, errNaNCalibration
-			}
-			finer.injectFrom(s)
-			if cc, ok := finer.stepper.(cflCarrier); ok {
-				cc.carryCFL(s.stepper)
-			}
-			return r0 * m.dropTol, nil
+		// Calibrate the finer level's absolute target from its freestream
+		// state before injecting, exactly like the two-level path: one
+		// freestream-started step gives the residual scale a plain solve on
+		// that level would have latched onto. A drop tolerance measured
+		// after injection instead would punish the good initial guess — the
+		// bilinear prolongation hands the finer level a first residual that
+		// is already low, and a further relative drop from there can sit
+		// below the level's limit-cycle floor, grinding away the whole
+		// coarse budget.
+		r0 := finer.Step()
+		if math.IsNaN(r0) || r0 <= 0 {
+			return 0, errNaNCalibration
 		}
 		finer.injectFrom(s)
 		if cc, ok := finer.stepper.(cflCarrier); ok {
 			cc.carryCFL(s.stepper)
 		}
+		if l-1 == 0 {
+			return r0 * m.dropTol, nil
+		}
+		abs = r0 * m.levelTol(l-1)
 	}
 	// Single reachable level: latch the target from the first real step.
 	// The step counts toward the fine budget; its residual cannot be below
@@ -222,9 +225,12 @@ func (m *multilevel) cascade(ctx context.Context) (float64, error) {
 	return r0 * m.dropTol, nil
 }
 
-// relax marches level l until its residual drops by tol relative to the
-// level's first-step residual, bounded by budget steps.
-func (m *multilevel) relax(ctx context.Context, l, budget int, tol float64) (float64, error) {
+// relax marches level l until its residual reaches the absolute target abs
+// (when abs > 0: the freestream-calibrated target of an injected level), or
+// drops by tol relative to the level's first-step residual (abs == 0: the
+// coarsest level, which starts from freestream anyway), bounded by budget
+// steps.
+func (m *multilevel) relax(ctx context.Context, l, budget int, tol, abs float64) (float64, error) {
 	s := m.solvers[l]
 	first := -1.0
 	res := 0.0
@@ -239,6 +245,12 @@ func (m *multilevel) relax(ctx context.Context, l, budget int, tol float64) (flo
 		m.progress(l, res)
 		if math.IsNaN(res) {
 			return res, fmt.Errorf("fvm: multilevel solve: residual NaN on level %d step %d", l, m.steps[l])
+		}
+		if abs > 0 {
+			if res < abs {
+				return res, nil
+			}
+			continue
 		}
 		if first < 0 && res > 0 {
 			first = res
@@ -530,32 +542,56 @@ func restrictState(f, c *Solver) {
 }
 
 // correctFrom applies the prolongated coarse-grid correction
-// U_h += P(U_H - saved) by the same nearest-cell injection the cascade uses,
+// U_h += P(U_H - saved) with the same bilinear prolongation the cascade's
+// injectFrom uses (nearest-cell injection re-seeded blocky high-frequency
+// error every cycle, which the post-smoothing then had to burn down),
 // skipping any fine cell the raw correction would drive out of the physical
 // state space (negative density or internal energy) — the next smoothing
 // sweeps repair those cells instead.
 func (s *Solver) correctFrom(c *Solver, saved []Cons) {
 	for i := 0; i < s.ni; i++ {
-		ic := i * c.ni / s.ni
-		if ic > c.ni-1 {
-			ic = c.ni - 1
-		}
+		i0, ti := prolongWeights(i, s.ni, c.ni)
 		for j := 0; j < s.nj; j++ {
-			jc := j * c.nj / s.nj
-			if jc > c.nj-1 {
-				jc = c.nj - 1
-			}
-			kc := c.idx(ic, jc)
+			j0, tj := prolongWeights(j, s.nj, c.nj)
+			du := c.bilinearDelta(saved, i0, j0, ti, tj)
 			k := s.idx(i, j)
 			var cand Cons
 			for cc := 0; cc < 4; cc++ {
-				cand[cc] = s.U[k][cc] + c.U[kc][cc] - saved[kc][cc]
+				cand[cc] = s.U[k][cc] + du[cc]
 			}
 			if s.physicalState(cand) {
 				s.U[k] = cand
 			}
 		}
 	}
+}
+
+// bilinearDelta blends the coarse correction U - saved around fractional
+// cell-center index (i0+ti, j0+tj).
+func (c *Solver) bilinearDelta(saved []Cons, i0, j0 int, ti, tj float64) Cons {
+	i1, j1 := i0+1, j0+1
+	if i1 > c.ni-1 {
+		i1 = c.ni - 1
+	}
+	if j1 > c.nj-1 {
+		j1 = c.nj - 1
+	}
+	w00 := (1 - ti) * (1 - tj)
+	w01 := (1 - ti) * tj
+	w10 := ti * (1 - tj)
+	w11 := ti * tj
+	k00 := c.idx(i0, j0)
+	k01 := c.idx(i0, j1)
+	k10 := c.idx(i1, j0)
+	k11 := c.idx(i1, j1)
+	var out Cons
+	for cc := 0; cc < 4; cc++ {
+		out[cc] = w00*(c.U[k00][cc]-saved[k00][cc]) +
+			w01*(c.U[k01][cc]-saved[k01][cc]) +
+			w10*(c.U[k10][cc]-saved[k10][cc]) +
+			w11*(c.U[k11][cc]-saved[k11][cc])
+	}
+	return out
 }
 
 // refitFinest re-detects the shock locus on the finest level, re-fits the
@@ -659,6 +695,9 @@ func (s *Solver) RefitTo(ng *grid.Grid2D) error {
 	}
 	s.G = ng
 	s.met = nm
+	// Recorded limiter offsets refer to the old grid's faces: drop back to
+	// live limiting until the freeze threshold latches again.
+	s.limMode = limLive
 	return nil
 }
 

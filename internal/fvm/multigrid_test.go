@@ -188,7 +188,7 @@ func TestRefitTransferWallPressure(t *testing.T) {
 	defer pool.Close()
 	o.Pool = pool
 	o.TimeStepping = "implicit"
-	ml, _, err := SolveMultilevel(context.Background(), g, o, 4000, 1e-3,
+	ml, _, err := SolveMultilevel(context.Background(), g, o, 4000, 3e-4,
 		SequenceOptions{Levels: 2, RefitEvery: 40})
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +206,7 @@ func TestRefitTransferWallPressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ref.Close()
-	if _, err := ref.Run(4000, 1e-3); err != nil {
+	if _, err := ref.Run(4000, 3e-4); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < ml.ni; i++ {

@@ -8,6 +8,7 @@ package fvm
 const (
 	// Flux kernels (Options.Flux, CaseSpec "flux").
 	FluxHLLE     = "hlle"
+	FluxHLLEEF   = "hlle-ef"
 	FluxHLLC     = "hllc"
 	FluxAUSMPlus = "ausm+"
 

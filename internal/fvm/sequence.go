@@ -144,23 +144,65 @@ func (*calibrationError) Error() string {
 }
 
 // injectFrom initializes the solver's conserved field from a coarse
-// solution by index-proportional nearest-cell injection — first-order, but
-// the fine relaxation immediately smooths it, so anything fancier is wasted
-// work for an initial condition.
+// solution by bilinear interpolation in cell-center index space. The old
+// nearest-cell injection seeded a blocky field whose high-frequency error
+// the fine level had to smooth away before converging anything else — on
+// small grids that smoothing cost ate the whole sequencing win; the
+// bilinear prolongation hands the fine level a field that is already
+// smooth at the coarse scale.
 func (s *Solver) injectFrom(c *Solver) {
 	for i := 0; i < s.ni; i++ {
-		ic := i * c.ni / s.ni
-		if ic > c.ni-1 {
-			ic = c.ni - 1
-		}
+		i0, ti := prolongWeights(i, s.ni, c.ni)
 		for j := 0; j < s.nj; j++ {
-			jc := j * c.nj / s.nj
-			if jc > c.nj-1 {
-				jc = c.nj - 1
-			}
-			s.U[s.idx(i, j)] = c.U[c.idx(ic, jc)]
+			j0, tj := prolongWeights(j, s.nj, c.nj)
+			s.U[s.idx(i, j)] = c.bilinear(i0, j0, ti, tj)
 		}
 	}
+}
+
+// prolongWeights maps fine cell center i (of fn cells) into the coarse
+// cell-center index space (of cn cells) for a bilinear prolongation:
+// returns the lower coarse index and the blend factor toward index+1,
+// clamped where the stencil leaves the grid (the boundary half-cells
+// extrapolate constantly, matching the coarse boundary treatment).
+func prolongWeights(i, fn, cn int) (int, float64) {
+	if cn < 2 {
+		return 0, 0
+	}
+	x := (float64(i)+0.5)*float64(cn)/float64(fn) - 0.5
+	if x <= 0 {
+		return 0, 0
+	}
+	if x >= float64(cn-1) {
+		return cn - 2, 1
+	}
+	i0 := int(x)
+	return i0, x - float64(i0)
+}
+
+// bilinear blends the four coarse cells around fractional cell-center
+// index (i0+ti, j0+tj).
+func (c *Solver) bilinear(i0, j0 int, ti, tj float64) Cons {
+	i1, j1 := i0+1, j0+1
+	if i1 > c.ni-1 {
+		i1 = c.ni - 1
+	}
+	if j1 > c.nj-1 {
+		j1 = c.nj - 1
+	}
+	w00 := (1 - ti) * (1 - tj)
+	w01 := (1 - ti) * tj
+	w10 := ti * (1 - tj)
+	w11 := ti * tj
+	u00 := c.U[c.idx(i0, j0)]
+	u01 := c.U[c.idx(i0, j1)]
+	u10 := c.U[c.idx(i1, j0)]
+	u11 := c.U[c.idx(i1, j1)]
+	var out Cons
+	for cc := 0; cc < 4; cc++ {
+		out[cc] = w00*u00[cc] + w01*u01[cc] + w10*u10[cc] + w11*u11[cc]
+	}
+	return out
 }
 
 // refitToShock rebuilds the fine grid with its outer boundary placed at

@@ -8,163 +8,164 @@ import (
 
 // computeResidual assembles the flux balance of every cell into s.res
 // (d(U V)/dt = -res). Boundary conditions are applied at the flux level.
-// All geometry comes from the precomputed metric arrays. The sweeps run on
-// prebuilt range closures so the per-step cost is allocation-free.
+// All geometry comes from the precomputed metric arrays. Assembly is three
+// cache-blocked passes on prebuilt range closures: the I- and J-face flux
+// planes (one grid line per block, reconstructed into the chunk's SoA
+// pencil and swept by the kernel's batched loop), then a gather pass that
+// differences the planes into cell residuals and folds in the
+// axisymmetric source and FAS forcing. A block's pencil, metrics and flux
+// writes stay resident while it runs, and no two chunks ever write the
+// same cell, so there is no scatter contention and no zeroing pre-pass.
 func (s *Solver) computeResidual() {
-	for k := range s.res {
-		s.res[k] = Cons{}
-	}
 	// I-direction faces: i = 0..ni, between cells (i-1,j) and (i,j).
-	s.pool.sweep(s.nj, &s.sweepWG, s.swResI)
+	s.pool.sweep(s.ni+1, &s.sweepWG, s.swFluxI)
 	// J-direction faces: j = 0..nj, between cells (i,j-1) and (i,j).
-	s.pool.sweep(s.ni, &s.sweepWG, s.swResJ)
-	// Axisymmetric hoop-pressure source in the radial momentum equation.
-	if s.G.Axisymmetric {
-		s.pool.sweep(s.ni, &s.sweepWG, s.swAxi)
-	}
-	// FAS defect correction: a coarse multigrid level relaxes the forced
-	// system R(U) - forcing = 0 (see multigrid.go). Coarse grids are small,
-	// so the subtraction is not worth a pool sweep.
-	if s.forcing != nil {
-		for k := range s.res {
-			for c := 0; c < 4; c++ {
-				s.res[k][c] -= s.forcing[k][c]
-			}
-		}
-	}
+	s.pool.sweep(s.ni, &s.sweepWG, s.swFluxJ)
+	// Difference the face planes into cell residuals.
+	s.pool.sweep(s.ni, &s.sweepWG, s.swAccum)
 }
 
-// resIRange accumulates the I-direction face fluxes for j-rows [lo, hi).
+// fluxIRange fills the I-face flux plane for face columns [lo, hi): column
+// i holds faces (i, j), j = 0..nj-1, contiguously in both the plane and
+// the FaceIN metrics. Boundary columns (symmetry mirror at i=0, zero-
+// gradient outflow at i=ni) go through the scalar reference kernel;
+// interior columns are reconstructed into the chunk pencil and swept by
+// the batched kernel.
 //
 //cataero:hotpath
-func (s *Solver) resIRange(ci, lo, hi int) {
+func (s *Solver) fluxIRange(ci, lo, hi int) {
 	ni, nj := s.ni, s.nj
 	met := s.met
-	for j := lo; j < hi; j++ {
-		for i := 0; i <= ni; i++ {
-			fk := 3 * (i*nj + j)
-			nx, ny, area := met.FaceIN[fk], met.FaceIN[fk+1], met.FaceIN[fk+2]
-			if area == 0 {
-				continue
-			}
-			var L, R Prim
-			switch {
-			case i == 0:
+	for i := lo; i < hi; i++ {
+		col := s.fluxI[4*i*nj : 4*(i+1)*nj]
+		nrm := met.FaceIN[3*i*nj : 3*(i+1)*nj]
+		switch {
+		case i == 0:
+			for j := 0; j < nj; j++ {
+				nx, ny, area := nrm[3*j], nrm[3*j+1], nrm[3*j+2]
+				k := 4 * j
+				if area == 0 {
+					col[k], col[k+1], col[k+2], col[k+3] = 0, 0, 0, 0
+					continue
+				}
 				// Symmetry plane (stagnation line): mirror the first cell.
-				in := s.prim[s.idx(0, j)]
-				L = mirror(in, nx, ny)
-				R = in
-			case i == ni:
+				in := s.prim[j]
+				f := s.flux.Flux(mirror(in, nx, ny), in, nx, ny, area)
+				col[k], col[k+1], col[k+2], col[k+3] = f[0], f[1], f[2], f[3]
+			}
+		case i == ni:
+			for j := 0; j < nj; j++ {
+				nx, ny, area := nrm[3*j], nrm[3*j+1], nrm[3*j+2]
+				k := 4 * j
+				if area == 0 {
+					col[k], col[k+1], col[k+2], col[k+3] = 0, 0, 0, 0
+					continue
+				}
 				// Outflow: zero-gradient ghost.
-				in := s.prim[s.idx(ni-1, j)]
-				L = in
-				R = in
-			default:
-				m := s.prim[s.idx(i-1, j)]
-				p := s.prim[s.idx(i, j)]
-				if s.Opts.MUSCL {
-					var mm, pp Prim
-					hasMM, hasPP := i-2 >= 0, i+1 <= ni-1
-					if hasMM {
-						mm = s.prim[s.idx(i-2, j)]
-					}
-					if hasPP {
-						pp = s.prim[s.idx(i+1, j)]
-					}
-					L, R = reconstruct(s.lim, mm, m, p, pp, hasMM, hasPP)
-				} else {
-					L, R = m, p
-				}
+				in := s.prim[(ni-1)*nj+j]
+				f := s.flux.Flux(in, in, nx, ny, area)
+				col[k], col[k+1], col[k+2], col[k+3] = f[0], f[1], f[2], f[3]
 			}
-			f := s.flux.Flux(L, R, nx, ny, area)
-			if i > 0 {
-				k := s.idx(i-1, j)
-				for c := 0; c < 4; c++ {
-					s.res[k][c] += f[c]
-				}
-			}
-			if i < ni {
-				k := s.idx(i, j)
-				for c := 0; c < 4; c++ {
-					s.res[k][c] -= f[c]
-				}
+		default:
+			ws := &s.bws[ci]
+			s.reconColI(ws, i)
+			if s.batch != nil {
+				s.batch.BatchFlux(col, &ws.L, &ws.R, nrm, nj)
+			} else {
+				s.scalarFluxPencil(col, &ws.L, &ws.R, nrm, nj)
 			}
 		}
 	}
 }
 
-// resJRange accumulates the J-direction face fluxes for i-lines [lo, hi).
+// fluxJRange fills the J-face flux plane for i-lines [lo, hi): line i
+// holds faces (i, j), j = 0..nj, contiguously in both the plane and the
+// FaceJN metrics. The wall (j=0) and freestream-ghost (j=nj) faces go
+// through the scalar reference kernel; the interior faces are
+// reconstructed from the line's contiguous cell run and swept by the
+// batched kernel, with the thin-layer viscous flux added scalar per face.
 //
 //cataero:hotpath
-func (s *Solver) resJRange(ci, lo, hi int) {
+func (s *Solver) fluxJRange(ci, lo, hi int) {
 	nj := s.nj
 	met := s.met
 	for i := lo; i < hi; i++ {
-		for j := 0; j <= nj; j++ {
-			fk := 3 * (i*(nj+1) + j)
-			nx, ny, area := met.FaceJN[fk], met.FaceJN[fk+1], met.FaceJN[fk+2]
-			if area == 0 {
-				continue
-			}
-			var f Cons
-			switch {
-			case j == 0:
-				f = s.wallFlux(i, nx, ny, area)
-			case j == nj:
-				// Outer boundary: freestream ghost (supersonic inflow).
-				in := s.prim[s.idx(i, nj-1)]
-				f = s.flux.Flux(in, s.pInf, nx, ny, area)
-			default:
-				m := s.prim[s.idx(i, j-1)]
-				p := s.prim[s.idx(i, j)]
-				var L, R Prim
-				if s.Opts.MUSCL {
-					var mm, pp Prim
-					hasMM, hasPP := j-2 >= 0, j+1 <= nj-1
-					if hasMM {
-						mm = s.prim[s.idx(i, j-2)]
-					}
-					if hasPP {
-						pp = s.prim[s.idx(i, j+1)]
-					}
-					L, R = reconstruct(s.lim, mm, m, p, pp, hasMM, hasPP)
-				} else {
-					L, R = m, p
+		row := s.fluxJ[4*i*(nj+1) : 4*(i+1)*(nj+1)]
+		nrm := met.FaceJN[3*i*(nj+1) : 3*(i+1)*(nj+1)]
+		// Wall face j=0.
+		if nx, ny, area := nrm[0], nrm[1], nrm[2]; area == 0 {
+			row[0], row[1], row[2], row[3] = 0, 0, 0, 0
+		} else {
+			f := s.wallFlux(i, nx, ny, area)
+			row[0], row[1], row[2], row[3] = f[0], f[1], f[2], f[3]
+		}
+		// Interior faces j = 1..nj-1 (pencil slot j-1).
+		n := nj - 1
+		ws := &s.bws[ci]
+		s.reconLineJ(ws, i)
+		if s.batch != nil {
+			s.batch.BatchFlux(row[4:4+4*n], &ws.L, &ws.R, nrm[3:3+3*n], n)
+		} else {
+			s.scalarFluxPencil(row[4:4+4*n], &ws.L, &ws.R, nrm[3:3+3*n], n)
+		}
+		if s.Opts.Viscous {
+			for j := 1; j < nj; j++ {
+				area := nrm[3*j+2]
+				if area == 0 {
+					continue
 				}
-				f = s.flux.Flux(L, R, nx, ny, area)
-				if s.Opts.Viscous {
-					fv := s.viscousFluxJ(i, j, area)
-					for c := 0; c < 4; c++ {
-						f[c] += fv[c]
-					}
-				}
+				fv := s.viscousFluxJ(i, j, area)
+				k := 4 * j
+				row[k+1] += fv[1]
+				row[k+2] += fv[2]
+				row[k+3] += fv[3]
 			}
-			if j > 0 {
-				k := s.idx(i, j-1)
-				for c := 0; c < 4; c++ {
-					s.res[k][c] += f[c]
-				}
-			}
-			if j < nj {
-				k := s.idx(i, j)
-				for c := 0; c < 4; c++ {
-					s.res[k][c] -= f[c]
-				}
-			}
+		}
+		// Outer boundary j=nj: freestream ghost (supersonic inflow).
+		k := 4 * nj
+		if nx, ny, area := nrm[3*nj], nrm[3*nj+1], nrm[3*nj+2]; area == 0 {
+			row[k], row[k+1], row[k+2], row[k+3] = 0, 0, 0, 0
+		} else {
+			in := s.prim[i*nj+nj-1]
+			f := s.flux.Flux(in, s.pInf, nx, ny, area)
+			row[k], row[k+1], row[k+2], row[k+3] = f[0], f[1], f[2], f[3]
 		}
 	}
 }
 
-// axiRange applies the axisymmetric hoop-pressure source for i-lines
-// [lo, hi).
+// accumRange differences the face flux planes into the cell residuals for
+// i-lines [lo, hi), folding in the axisymmetric hoop-pressure source and
+// the FAS defect correction. It writes every residual exactly once, so
+// computeResidual needs no zeroing pre-pass.
 //
 //cataero:hotpath
-func (s *Solver) axiRange(ci, lo, hi int) {
+func (s *Solver) accumRange(ci, lo, hi int) {
+	nj := s.nj
 	met := s.met
+	axi := s.G.Axisymmetric
+	forcing := s.forcing
 	for i := lo; i < hi; i++ {
-		for j := 0; j < s.nj; j++ {
-			k := s.idx(i, j)
-			s.res[k][2] -= s.prim[k].P * met.Area[k]
+		for j := 0; j < nj; j++ {
+			k := i*nj + j
+			iw := 4 * k
+			ie := 4 * (k + nj)
+			js := 4 * (i*(nj+1) + j)
+			jn := js + 4
+			for c := 0; c < 4; c++ {
+				s.res[k][c] = s.fluxI[ie+c] - s.fluxI[iw+c] + s.fluxJ[jn+c] - s.fluxJ[js+c]
+			}
+			if axi {
+				// Axisymmetric hoop-pressure source in the radial momentum
+				// equation.
+				s.res[k][2] -= s.prim[k].P * met.Area[k]
+			}
+			if forcing != nil {
+				// FAS defect correction: the level relaxes R(U) - forcing = 0
+				// (see multigrid.go).
+				for c := 0; c < 4; c++ {
+					s.res[k][c] -= forcing[k][c]
+				}
+			}
 		}
 	}
 }
@@ -246,22 +247,40 @@ func (s *Solver) dtRange(ci, lo, hi int) {
 			q := s.prim[k]
 			vol := met.Vol[k]
 			// Spectral radius estimate over the four faces, from the cached
-			// unit normals and areas.
+			// unit normals and areas, with the face loop unrolled so nothing
+			// is staged through a temporary array.
 			lam := 0.0
 			sMax := 0.0
 			fw := 3 * (i*nj + j)
 			fe := 3 * ((i+1)*nj + j)
 			fs := 3 * (i*(nj+1) + j)
-			fn := 3 * (i*(nj+1) + j + 1)
-			for _, face := range [4][3]float64{
-				{met.FaceIN[fw], met.FaceIN[fw+1], met.FaceIN[fw+2]},
-				{met.FaceIN[fe], met.FaceIN[fe+1], met.FaceIN[fe+2]},
-				{met.FaceJN[fs], met.FaceJN[fs+1], met.FaceJN[fs+2]},
-				{met.FaceJN[fn], met.FaceJN[fn+1], met.FaceJN[fn+2]},
-			} {
-				mag := face[2]
-				un := (math.Abs(q.U*face[0]+q.V*face[1]) + q.A) * mag
-				if un > lam {
+			fn := fs + 3
+			if mag := met.FaceIN[fw+2]; mag > 0 {
+				if un := (math.Abs(q.U*met.FaceIN[fw]+q.V*met.FaceIN[fw+1]) + q.A) * mag; un > lam {
+					lam = un
+				}
+				if mag > sMax {
+					sMax = mag
+				}
+			}
+			if mag := met.FaceIN[fe+2]; mag > 0 {
+				if un := (math.Abs(q.U*met.FaceIN[fe]+q.V*met.FaceIN[fe+1]) + q.A) * mag; un > lam {
+					lam = un
+				}
+				if mag > sMax {
+					sMax = mag
+				}
+			}
+			if mag := met.FaceJN[fs+2]; mag > 0 {
+				if un := (math.Abs(q.U*met.FaceJN[fs]+q.V*met.FaceJN[fs+1]) + q.A) * mag; un > lam {
+					lam = un
+				}
+				if mag > sMax {
+					sMax = mag
+				}
+			}
+			if mag := met.FaceJN[fn+2]; mag > 0 {
+				if un := (math.Abs(q.U*met.FaceJN[fn]+q.V*met.FaceJN[fn+1]) + q.A) * mag; un > lam {
 					lam = un
 				}
 				if mag > sMax {
@@ -281,9 +300,42 @@ func (s *Solver) dtRange(ci, lo, hi int) {
 }
 
 // Step advances one time step of the configured integrator
-// (Options.TimeStepping) and returns the RMS density residual.
+// (Options.TimeStepping) and returns the RMS density residual. With
+// Options.FreezeLimiterAt set it also drives the frozen-limiter state
+// machine on the returned residual.
 func (s *Solver) Step() float64 {
-	return s.stepper.Step()
+	r := s.stepper.Step()
+	if s.frzI != nil {
+		s.freezeLatch(r)
+	}
+	return r
+}
+
+// freezeLatch advances the frozen-limiter state machine after a step
+// returning residual r: latch the first residual, switch to one recording
+// step once the residual has dropped past FreezeLimiterAt times the first
+// value (the shock is stationary by then), and freeze after the recording
+// step has stored every interior face's limiter offsets.
+func (s *Solver) freezeLatch(r float64) {
+	switch s.limMode {
+	case limRecord:
+		// The recording step just completed: every interior face holds its
+		// applied offsets, so replay them from here on.
+		s.limMode = limFrozen
+	case limLive:
+		if math.IsNaN(r) {
+			return
+		}
+		if s.limFirst <= 0 {
+			if r > 0 {
+				s.limFirst = r
+			}
+			return
+		}
+		if r < s.limFirst*s.Opts.FreezeLimiterAt {
+			s.limMode = limRecord
+		}
+	}
 }
 
 // stepExplicit advances one explicit two-stage (Heun) local-time step and

@@ -88,6 +88,12 @@ func TestHotPathFixture(t *testing.T) {
 	checkFixture(t, prog, HotPath().Run(prog))
 }
 
+func TestHotPathIfaceFixture(t *testing.T) {
+	prog := loadFixture(t, "./internal/lint/testdata/src/hotpathifacefix")
+	a := HotPath(IfaceRoot{Pkg: "src/hotpathifacefix", Iface: "Batcher", Method: "Batch"})
+	checkFixture(t, prog, a.Run(prog))
+}
+
 func TestCtxLoopFixture(t *testing.T) {
 	prog := loadFixture(t, "./internal/lint/testdata/src/ctxloopfix")
 	checkFixture(t, prog, CtxLoop("src/ctxloopfix").Run(prog))

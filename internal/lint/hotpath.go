@@ -5,10 +5,26 @@ import (
 	"go/types"
 )
 
+// IfaceRoot seeds hot-path roots from interface implementations: every
+// method named Method on a type satisfying the Iface interface (declared in
+// the loaded package whose import path is or ends with "/"+Pkg) enters the
+// hot call closure whether or not it is annotated, and the analyzer
+// additionally demands the //cataero:hotpath annotation on each such method
+// so the contract stays visible at the declaration. This is how the batched
+// flux kernels are covered: implementing fvm.BatchFluxKernel puts a method
+// inside the per-step sweeps, so forgetting the annotation must not exempt
+// it from the no-allocation rule.
+type IfaceRoot struct {
+	Pkg    string // package declaring the interface, e.g. "internal/fvm"
+	Iface  string // interface name, e.g. "BatchFluxKernel"
+	Method string // implementing method to root, e.g. "BatchFlux"
+}
+
 // HotPath returns the hotpath analyzer: functions annotated
-// //cataero:hotpath, and every in-module function statically reachable from
-// one, must not allocate. The per-step fvm paths hold 0 allocs/op (enforced
-// dynamically by BenchmarkStep*); this is the static half of that contract.
+// //cataero:hotpath, every method rooted through an IfaceRoot, and every
+// in-module function statically reachable from one, must not allocate. The
+// per-step fvm paths hold 0 allocs/op (enforced dynamically by
+// BenchmarkStep*); this is the static half of that contract.
 //
 // Flagged inside the hot call closure:
 //   - append, make, new
@@ -21,15 +37,15 @@ import (
 // Dynamic dispatch (interface methods, func values) is not traversed:
 // annotate the concrete implementations as roots instead. Individual lines
 // are exempted with `//cataero:allow hotpath <reason>`.
-func HotPath() *Analyzer {
+func HotPath(ifaces ...IfaceRoot) *Analyzer {
 	return &Analyzer{
 		Name: "hotpath",
 		Doc:  "hot-path functions (//cataero:hotpath) and their static callees must not allocate",
-		Run:  runHotPath,
+		Run:  func(prog *Program) []Diagnostic { return runHotPath(prog, ifaces) },
 	}
 }
 
-func runHotPath(prog *Program) []Diagnostic {
+func runHotPath(prog *Program, ifaces []IfaceRoot) []Diagnostic {
 	// Roots: annotated functions anywhere in the loaded source.
 	reached := make(map[*types.Func]string) // how the function entered the closure
 	var queue []*types.Func
@@ -49,6 +65,52 @@ func runHotPath(prog *Program) []Diagnostic {
 	}
 
 	var diags []Diagnostic
+
+	// Interface-rooted methods: implementing the interface is what puts the
+	// method on the hot path, so the closure does not depend on the author
+	// remembering the annotation — but the annotation is still required.
+	for _, ir := range ifaces {
+		ipkg := prog.Package(ir.Pkg)
+		if ipkg == nil {
+			continue
+		}
+		obj := ipkg.Types.Scope().Lookup(ir.Iface)
+		if obj == nil {
+			continue
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for _, pkg := range prog.Pkgs {
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Recv == nil || fd.Name.Name != ir.Method {
+						continue
+					}
+					fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					recv := fn.Type().(*types.Signature).Recv().Type()
+					if !types.Implements(recv, iface) && !types.Implements(types.NewPointer(recv), iface) {
+						continue
+					}
+					if !hasDirective(fd, "hotpath") {
+						report(prog, pkg, &diags, "hotpath", fd.Name.Pos(),
+							"%s implements %s.%s and runs inside the per-step sweeps; annotate it //cataero:hotpath",
+							fd.Name.Name, ir.Pkg, ir.Iface)
+					}
+					if _, seen := reached[fn]; !seen {
+						reached[fn] = ""
+						queue = append(queue, fn)
+					}
+				}
+			}
+		}
+	}
+
 	for len(queue) > 0 {
 		fn := queue[0]
 		queue = queue[1:]

@@ -112,7 +112,7 @@ func report(prog *Program, pkg *Package, out *[]Diagnostic, analyzer string, pos
 // All returns the analyzer suite configured for this repository.
 func All() []*Analyzer {
 	return []*Analyzer{
-		HotPath(),
+		HotPath(IfaceRoot{Pkg: "internal/fvm", Iface: "BatchFluxKernel", Method: "BatchFlux"}),
 		Registry(CataeroFamilies()...),
 		CtxLoop("internal/fvm", "internal/vsl", "internal/pns", "internal/ns", "internal/euler", "internal/blayer"),
 		PhysConst("internal/thermo", "internal/gas", "internal/transport", "internal/chem"),

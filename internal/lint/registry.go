@@ -67,7 +67,7 @@ func CataeroFamilies() []Family {
 			Kind: "flux kernel", Pkg: "internal/fvm", RegisterFunc: "RegisterFlux",
 			Enumerator: "FluxKernels", CheckCall: "cataero.FluxKernels", CheckPkg: "cmd/catsim",
 			SpecPkg: "internal/core", SpecType: "CaseSpec", SpecJSON: "flux",
-			Consts: name(map[string]string{"hlle": "fvm.FluxHLLE", "hllc": "fvm.FluxHLLC", "ausm+": "fvm.FluxAUSMPlus"}),
+			Consts: name(map[string]string{"hlle": "fvm.FluxHLLE", "hlle-ef": "fvm.FluxHLLEEF", "hllc": "fvm.FluxHLLC", "ausm+": "fvm.FluxAUSMPlus"}),
 		},
 		{
 			Kind: "time stepping", Pkg: "internal/fvm", RegisterFunc: "RegisterIntegrator",

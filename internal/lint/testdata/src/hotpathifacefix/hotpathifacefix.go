@@ -1,0 +1,58 @@
+// Package hotpathifacefix exercises the interface-rooted half of the
+// hotpath analyzer: methods named Batch on types satisfying Batcher are
+// hot-path roots whether or not they carry the annotation, and the analyzer
+// demands the annotation so the contract stays visible at the declaration.
+// The `// want` comments are matched by TestHotPathIfaceFixture.
+package hotpathifacefix
+
+// Batcher mimics fvm.BatchFluxKernel for the fixture.
+type Batcher interface {
+	Batch(dst []float64, n int)
+}
+
+// annotated implements Batcher the right way: marked and allocation-free.
+type annotated struct{}
+
+// Batch is the well-formed implementation.
+//
+//cataero:hotpath
+func (annotated) Batch(dst []float64, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = float64(i)
+	}
+}
+
+// bare implements Batcher without the annotation: the analyzer must still
+// pull Batch into the closure (the make is flagged) and ask for the
+// directive at the declaration.
+type bare struct{}
+
+func (bare) Batch(dst []float64, n int) { // want "implements src/hotpathifacefix.Batcher and runs inside the per-step sweeps"
+	tmp := make([]float64, n) // want "make allocates"
+	copy(dst, tmp)
+}
+
+// ptr implements Batcher through a pointer receiver; the check must see the
+// pointer method set.
+type ptr struct{ scratch []float64 }
+
+// Batch is annotated and clean.
+//
+//cataero:hotpath
+func (p *ptr) Batch(dst []float64, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = p.scratch[i%len(p.scratch)]
+	}
+}
+
+// unrelated has a Batch method that does NOT satisfy Batcher (wrong
+// signature): it is off the hot path and its append must stay silent.
+type unrelated struct{}
+
+func (unrelated) Batch(dst []int) []int { return append(dst, 1) }
+
+var (
+	_ Batcher = annotated{}
+	_ Batcher = bare{}
+	_ Batcher = &ptr{}
+)

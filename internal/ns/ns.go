@@ -45,6 +45,9 @@ type Case struct {
 	// Limiter selects the MUSCL slope limiter by name ("minmod",
 	// "vanalbada"; default fvm.DefaultLimiter).
 	Limiter string
+	// FreezeLimiterAt freezes the MUSCL limiter once the residual has
+	// dropped by this factor (see fvm.Options.FreezeLimiterAt; 0 = never).
+	FreezeLimiterAt float64
 	// Sequence, when non-nil, runs the solve grid-sequenced or multilevel:
 	// converge coarse grids first, then finish on the fine grid (see
 	// fvm.SolveSequenced / fvm.SolveMultilevel and the Levels, Cycle and
@@ -118,6 +121,8 @@ func Solve(ctx context.Context, c Case) (*Result, error) {
 		Limiter:      c.Limiter,
 		Pool:         c.Pool,
 		Progress:     c.Progress,
+
+		FreezeLimiterAt: c.FreezeLimiterAt,
 	}
 	const dropTol = 5e-4
 	var s *fvm.Solver

@@ -21,17 +21,18 @@ import (
 // watchable view of the solver's progress, and Solve/SolveBatch are thin
 // blocking wrappers over submitted runs.
 type Session struct {
-	stack    *core.Stack
-	chem     GasChemistry
-	quality  Quality
-	workers  int
-	gamma    float64
-	flux     string
-	timestep string
-	limiter  string
-	gridSeq  bool
-	levels   int
-	cycle    string
+	stack     *core.Stack
+	chem      GasChemistry
+	quality   Quality
+	workers   int
+	gamma     float64
+	flux      string
+	timestep  string
+	limiter   string
+	freezeLim float64
+	gridSeq   bool
+	levels    int
+	cycle     string
 	// Solve admission (see pool.go): at most `workers` submitted runs
 	// execute concurrently; the rest wait FIFO in admitQueue.
 	admitMu    sync.Mutex
@@ -77,10 +78,10 @@ func WithGamma(g float64) Option {
 	}
 }
 
-// WithFlux sets the default finite-volume flux kernel ("hlle", "hllc",
-// "ausm+") stamped onto problems whose Flux field is left empty. The kernel
-// names come from the fvm flux registry; an unknown name fails at solve
-// time with the list of registered kernels.
+// WithFlux sets the default finite-volume flux kernel ("hlle", "hlle-ef",
+// "hllc", "ausm+") stamped onto problems whose Flux field is left empty. The
+// kernel names come from the fvm flux registry; an unknown name fails at
+// solve time with the list of registered kernels.
 func WithFlux(name string) Option {
 	return func(s *Session) { s.flux = name }
 }
@@ -134,6 +135,20 @@ func WithLimiter(name string) Option {
 	return func(s *Session) { s.limiter = name }
 }
 
+// WithFreezeLimiter sets the default limiter-freeze threshold stamped onto
+// problems that leave FreezeLimiterAt at zero: once a finite-volume solve's
+// residual has dropped by the threshold (e.g. 1e-2), the MUSCL limiter is
+// frozen and its recorded slopes replayed for the rest of the march, cutting
+// per-step cost through the long convergence tail. Thresholds outside (0, 1)
+// are ignored.
+func WithFreezeLimiter(threshold float64) Option {
+	return func(s *Session) {
+		if threshold > 0 && threshold < 1 {
+			s.freezeLim = threshold
+		}
+	}
+}
+
 // NewSession builds a session from functional options. The zero
 // configuration is useful as-is: solver-default grids, GOMAXPROCS batch
 // workers, chemistry taken from each problem.
@@ -166,6 +181,9 @@ func (s *Session) apply(p Problem) Problem {
 	}
 	if p.Limiter == "" && s.limiter != "" {
 		p.Limiter = s.limiter
+	}
+	if p.FreezeLimiterAt == 0 && s.freezeLim != 0 {
+		p.FreezeLimiterAt = s.freezeLim
 	}
 	if p.Levels == 0 && s.levels != 0 {
 		p.Levels = s.levels
