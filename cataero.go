@@ -50,6 +50,10 @@ import (
 	"cataero/internal/fvm"
 )
 
+// Version identifies the toolkit release; ledger entries record it as
+// solver-provenance metadata.
+const Version = "0.8.0"
+
 // Problem is a complete aerothermal case specification. See core.Problem.
 type Problem = core.Problem
 
@@ -136,6 +140,30 @@ func Cycles() []string { return fvm.Cycles() }
 // max 200); a Growth below 1 is floored at 1 (hold constant) and a Max
 // below Start is floored at Start.
 type CFLRamp = fvm.CFLRamp
+
+// CanonicalSpec returns the canonical, default-normalized case spec of a
+// problem: the label cleared, every default a solve would fill spelled
+// explicitly (core normalization plus the finite-volume registry defaults).
+// Semantically identical problems produce identical canonical specs — the
+// content-addressing basis of the run ledger.
+func CanonicalSpec(p Problem) (CaseSpec, error) { return core.Canonical(p) }
+
+// CanonicalJSON returns the canonical JSON encoding of a problem — the
+// CanonicalSpec re-marshaled with sorted object keys — the exact bytes
+// CaseKey hashes.
+func CanonicalJSON(p Problem) ([]byte, error) { return core.CanonicalJSON(p) }
+
+// CaseKey returns a problem's content address: the lowercase hex SHA-256 of
+// its canonical JSON. Field-order permutations, explicitly spelled defaults
+// and report labels all collide onto the same key; any change that affects
+// the solve produces a new one. Hash a problem after Session.Normalize so
+// session defaults participate in the address.
+func CaseKey(p Problem) (string, error) { return core.CaseKey(p) }
+
+// ClassName returns the case-file name of a solver class ("vsl", "ebl",
+// "pns", "ns"), or "" for a class without one — the inverse of the names
+// accepted by case files.
+func ClassName(c SolverClass) string { return core.ClassName(c) }
 
 // Solve dispatches a problem to its solver class and returns the
 // aerothermal environment.

@@ -5,6 +5,9 @@
 //	catsim -fig all                 # bare flags still mean 'figs' (back-compat)
 //	catsim run case.json            # solve a declarative JSON case file
 //	catsim run case.json -progress  # ...with a live residual ticker
+//	catsim run case.json -ledger d  # ...reusing a content-addressed run store
+//	catsim serve -ledger d          # HTTP solve service over the same store
+//	catsim ledger ls -ledger d      # inspect the store
 //	catsim kernels                  # list the registered flux kernels
 //
 // Every solver-backed command runs through one cataero.Session, so model
@@ -33,6 +36,10 @@ func main() {
 		code = figsCmd(args)
 	case "run":
 		code = runCmd(args)
+	case "serve":
+		code = serveCmd(args)
+	case "ledger":
+		code = ledgerCmd(args)
 	case "kernels":
 		code = kernelsCmd(args)
 	case "bench":
@@ -53,6 +60,8 @@ func usage(w *os.File) {
 commands:
   figs     regenerate the paper's figures (default; bare flags imply it)
   run      solve a declarative JSON case file, optionally with live progress
+  serve    run the HTTP solve service with a persistent run ledger
+  ledger   inspect or garbage-collect a run ledger (ls, get, gc)
   kernels  list the registered finite-volume flux kernels
   bench    run the Solve/Step benchmarks and write machine-readable results
   help     print this message

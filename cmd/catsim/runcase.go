@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"cataero"
+	"cataero/internal/ledger"
 )
 
 // runCmd solves a declarative JSON case file: `catsim run case.json
@@ -27,6 +29,8 @@ func runCmd(args []string) int {
 	refitEvery := fs.Int("refitevery", 0, "re-fit the outer boundary to the shock locus every N fine steps")
 	workers := fs.Int("workers", 0, "concurrent solve bound (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
+	ledgerDir := fs.String("ledger", "", "consult and update a run ledger (shared with 'catsim serve')")
+	outPath := fs.String("out", "", "write the solved environment as JSON to this file (the serve artifact)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: catsim run [flags] case.json")
 		fs.PrintDefaults()
@@ -96,6 +100,31 @@ func runCmd(args []string) int {
 	}
 	s := cataero.NewSession(opts...)
 
+	// With a ledger, identical cases hash to identical content keys (field
+	// order and explicit defaults do not matter), so a prior solve — by this
+	// command or by `catsim serve` over the same directory — is reused.
+	var store *ledger.Ledger
+	var caseKey string
+	if *ledgerDir != "" {
+		var err error
+		if store, err = ledger.Open(*ledgerDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		np, err := s.Normalize(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if caseKey, err = cataero.CaseKey(np); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if e, err := store.Get(caseKey); err == nil && e != nil {
+			return reportLedgerHit(path, e, *outPath)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
@@ -118,8 +147,74 @@ func runCmd(args []string) int {
 		fmt.Fprintf(os.Stderr, "catsim run: %v\n", err)
 		return 1
 	}
-	printEnvironment(env, run.Snapshot())
+	snap := run.Snapshot()
+	printEnvironment(env, snap)
+
+	result, err := json.Marshal(env)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catsim run: marshal result: %v\n", err)
+		return 1
+	}
+	if store != nil {
+		entry := &ledger.Entry{
+			Key:       caseKey,
+			Result:    result,
+			Solver:    snap.Solver,
+			Version:   cataero.Version,
+			ElapsedMS: float64(snap.Elapsed) / float64(time.Millisecond),
+		}
+		if spec, err := cataero.CanonicalJSON(p); err == nil {
+			entry.Spec = spec
+		}
+		if snapJSON, err := json.Marshal(snap); err == nil {
+			entry.Snapshot = snapJSON
+		}
+		if err := store.Put(entry); err != nil {
+			fmt.Fprintf(os.Stderr, "catsim run: ledger: %v\n", err)
+		} else {
+			fmt.Printf("  ledger       + %s\n", caseKey[:16])
+		}
+	}
+	if *outPath != "" {
+		if err := writeArtifact(*outPath, result); err != nil {
+			fmt.Fprintf(os.Stderr, "catsim run: %v\n", err)
+			return 1
+		}
+		fmt.Printf("  wrote        %s\n", *outPath)
+	}
 	return 0
+}
+
+// reportLedgerHit answers a run from a stored entry: no solve happens, the
+// stored artifact is printed (and written to -out) exactly as a fresh solve's
+// would be.
+func reportLedgerHit(path string, e *ledger.Entry, outPath string) int {
+	var env cataero.Environment
+	if err := json.Unmarshal(e.Result, &env); err != nil {
+		fmt.Fprintf(os.Stderr, "catsim run: ledger entry for %s is unreadable: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("ledger hit %s (solved in %.1f ms by %s, toolkit %s)\n",
+		e.Key[:16], e.ElapsedMS, e.Solver, e.Version)
+	// Reconstruct what a fresh solve would have reported from the entry's
+	// provenance; the stored snapshot is a display artifact, not re-parsed.
+	printEnvironment(&env, cataero.Snapshot{
+		Solver:  e.Solver,
+		Elapsed: time.Duration(e.ElapsedMS * float64(time.Millisecond)),
+	})
+	if outPath != "" {
+		if err := writeArtifact(outPath, e.Result); err != nil {
+			fmt.Fprintf(os.Stderr, "catsim run: %v\n", err)
+			return 1
+		}
+		fmt.Printf("  wrote        %s\n", outPath)
+	}
+	return 0
+}
+
+// writeArtifact writes the result JSON with a trailing newline.
+func writeArtifact(path string, result []byte) error {
+	return os.WriteFile(path, append(result, '\n'), 0o644)
 }
 
 // followRun prints a live progress line whenever the run advances, until it

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"cataero"
+	"cataero/internal/ledger"
+	"cataero/internal/serve"
+)
+
+// serveCmd runs the aerothermal solve service: an HTTP/JSON front end over
+// one cataero.Session with a persistent content-addressed run ledger.
+// Repeat submissions of a case the ledger already holds are answered from
+// disk without re-solving; `catsim run -ledger` shares the same store.
+func serveCmd(args []string) int {
+	fs := flag.NewFlagSet("catsim serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	ledgerDir := fs.String("ledger", "", "run-ledger directory (empty = serve without caching)")
+	workers := fs.Int("workers", 0, "concurrent solve bound (0 = GOMAXPROCS)")
+	quotaRate := fs.Float64("quota-rate", 0, "per-client solve admissions per second (0 = unlimited)")
+	quotaBurst := fs.Int("quota-burst", 4, "per-client admission burst (token-bucket depth)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: catsim serve [-addr :8080] [-ledger DIR] [-workers N] [-quota-rate R] [-quota-burst B]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "catsim serve: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	var opts []cataero.Option
+	if *workers > 0 {
+		opts = append(opts, cataero.WithWorkers(*workers))
+	}
+	session := cataero.NewSession(opts...)
+
+	var store *ledger.Ledger
+	if *ledgerDir != "" {
+		var err error
+		if store, err = ledger.Open(*ledgerDir); err != nil {
+			fmt.Fprintf(os.Stderr, "catsim serve: %v\n", err)
+			return 1
+		}
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "[%s] %s\n",
+			time.Now().Format("15:04:05"), fmt.Sprintf(format, args...))
+	}
+	srv, err := serve.New(serve.Config{
+		Session:    session,
+		Ledger:     store,
+		Workers:    *workers,
+		QuotaRate:  *quotaRate,
+		QuotaBurst: *quotaBurst,
+		Logf:       logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catsim serve: %v\n", err)
+		return 1
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	if store != nil {
+		logf("serving on %s (ledger %s)", *addr, store.Dir())
+	} else {
+		logf("serving on %s (no ledger: every submission solves)", *addr)
+	}
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "catsim serve: %v\n", err)
+		return 1
+	}
+	logf("shut down")
+	return 0
+}

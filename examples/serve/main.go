@@ -1,0 +1,126 @@
+// Serve: the HTTP solve service and its content-addressed run ledger, end
+// to end, in one process. The program starts the same server `catsim serve`
+// runs, submits a case over HTTP, then submits it again — the second
+// response is a ledger hit answered from disk without a solve — and finally
+// restarts the server over the same ledger directory to show the cache
+// surviving a process boundary.
+//
+// Run from the repository root:
+//
+//	go run ./examples/serve
+//
+// Against a long-lived server the same conversation is plain curl:
+//
+//	catsim serve -addr :8080 -ledger /var/tmp/cataero-ledger &
+//	curl -X POST --data @examples/casefile/case.json 'localhost:8080/api/runs?wait=1'
+//	curl -X POST --data @examples/casefile/case.json 'localhost:8080/api/runs?wait=1'  # cached
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cataero"
+	"cataero/internal/ledger"
+	"cataero/internal/serve"
+)
+
+// startServer assembles the serve stack over a ledger directory — exactly
+// what `catsim serve -ledger dir` does — and exposes it on a loopback
+// listener.
+func startServer(dir string) (*httptest.Server, *serve.Server, *ledger.Ledger) {
+	store, err := ledger.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Session: cataero.NewSession(),
+		Ledger:  store,
+		// Per-client admission quotas (X-API-Key): 2 solves/s, burst 4.
+		QuotaRate:  2,
+		QuotaBurst: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return httptest.NewServer(srv.Handler()), srv, store
+}
+
+// submit POSTs a case and decodes the response envelope.
+func submit(url string, p cataero.Problem) map[string]any {
+	body, err := json.Marshal(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url+"/api/runs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("submit: HTTP %d: %v", resp.StatusCode, v["error"])
+	}
+	return v
+}
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "cataero-serve-example")
+	defer os.RemoveAll(dir)
+
+	// 1. Start the service. POST /api/runs?wait=1 is the synchronous form;
+	// dropping ?wait returns 202 + a run ID to poll (or stream via
+	// /api/runs/{id}/events).
+	ts, srv, store := startServer(dir)
+
+	// A Shuttle-entry boundary-layer case; EBL solves in milliseconds.
+	p := cataero.Problem{
+		Name:      "serve example: Shuttle entry point",
+		Class:     cataero.EBL,
+		Chemistry: cataero.EquilibriumAir,
+		PInf:      4.8, TInf: 217, VInf: 6740,
+		NoseRadius: 0.6, TWall: 1200,
+		NStations: 14,
+	}
+
+	// 2. First submission: a ledger miss — the server solves and records
+	// the run under the canonical SHA-256 of the case.
+	t0 := time.Now()
+	first := submit(ts.URL, p)
+	fmt.Printf("first submission:  cached=%v  solved in %s\n", first["cached"], time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("  content key %.16s…\n", first["key"])
+
+	// 3. Second submission: same physics, so the canonical hash collides
+	// and the stored artifact comes back without a solve. Field order,
+	// labels and explicitly spelled defaults do not change the key.
+	t1 := time.Now()
+	p.Name = "same case, different label"
+	second := submit(ts.URL, p)
+	fmt.Printf("second submission: cached=%v  answered in %s\n", second["cached"], time.Since(t1).Round(time.Millisecond))
+	if fmt.Sprint(first["key"]) != fmt.Sprint(second["key"]) {
+		log.Fatal("keys diverged")
+	}
+
+	// 4. Restart: the ledger is plain files, so a new server over the same
+	// directory — or `catsim run -ledger` from a shell — still hits.
+	ts.Close()
+	srv.Close()
+	st := store.Stats()
+	fmt.Printf("ledger before restart: %d put, %d hit\n", st.Puts, st.Hits)
+
+	ts2, srv2, _ := startServer(dir)
+	defer ts2.Close()
+	defer srv2.Close()
+	third := submit(ts2.URL, p)
+	fmt.Printf("after restart:     cached=%v (served from %s)\n", third["cached"], dir)
+}

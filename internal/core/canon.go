@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"cataero/internal/fvm"
+)
+
+// This file defines the canonical form of a case — the content address of
+// the run ledger. Two problems that would produce the same solve must hash
+// to the same key, so canonicalization normalizes everything that does not
+// affect the result:
+//
+//   - the report label (Problem.Name) is cleared;
+//   - the solve-independent defaults are filled (normalize: chemistry,
+//     gamma, wall temperature, body from nose radius), so a spec that
+//     spells a default explicitly collides with one that omits it;
+//   - the finite-volume registry choices left empty resolve to the solver
+//     defaults (DefaultFlux/DefaultTimeStepping/DefaultLimiter), and the
+//     multilevel cycle to DefaultCycle when a sequenced solve would use it;
+//   - the spec is re-marshaled through a generic map, so object keys are
+//     emitted in sorted order regardless of struct declaration order.
+//
+// Problems whose configuration lives in function fields (Standoff, Mu, K)
+// have no canonical form and are rejected by SpecOf; the Monitor is dropped
+// (it never affects the solution).
+
+// Normalize validates the problem and fills the solve-independent defaults
+// (freestream checks, sphere body from NoseRadius, ideal-gas chemistry,
+// default gamma and wall temperature) — the same normalization every solve
+// runs through before dispatch, exported for canonical hashing and serving
+// layers.
+func Normalize(p Problem) (Problem, error) {
+	return normalize(p)
+}
+
+// Canonical returns the canonical, default-normalized case spec of a
+// problem: the form whose JSON encoding is hashed into the ledger key. The
+// label is cleared and every default a solve would fill is made explicit,
+// so semantically identical cases produce identical specs.
+func Canonical(p Problem) (CaseSpec, error) {
+	p.Name = ""
+	p.Monitor = nil
+	np, err := normalize(p)
+	if err != nil {
+		return CaseSpec{}, err
+	}
+	if np.Flux == "" {
+		np.Flux = fvm.DefaultFlux
+	}
+	if np.TimeStepping == "" {
+		np.TimeStepping = fvm.DefaultTimeStepping
+	}
+	if np.Limiter == "" {
+		np.Limiter = fvm.DefaultLimiter
+	}
+	// The cycle matters only when a multilevel solve would consult it: a
+	// requested level hierarchy with no schedule runs the default cycle, so
+	// spell it out. A plain single-level solve keeps the empty cycle rather
+	// than inventing a knob it never reads.
+	if np.Cycle == "" && np.Levels >= 2 {
+		np.Cycle = fvm.DefaultCycle
+	}
+	return SpecOf(np)
+}
+
+// CanonicalJSON returns the canonical JSON encoding of a problem: the
+// Canonical spec re-marshaled through a generic map so object keys are
+// sorted, suitable for hashing and for storing alongside a ledger entry.
+func CanonicalJSON(p Problem) ([]byte, error) {
+	spec, err := Canonical(p)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	return sortJSON(raw)
+}
+
+// CaseKey returns the content address of a problem: the lowercase hex
+// SHA-256 of its canonical JSON. Semantically identical cases — field-order
+// permutations, explicitly spelled defaults, labels — share a key.
+func CaseKey(p Problem) (string, error) {
+	canon, err := CanonicalJSON(p)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// sortJSON re-encodes a JSON document with object keys in sorted order at
+// every nesting level (encoding/json sorts map keys), leaving values and
+// array order untouched.
+func sortJSON(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber() // keep numbers byte-for-byte, not float64 round-trips
+	var doc any
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: canonical json: %w", err)
+	}
+	return json.Marshal(doc)
+}

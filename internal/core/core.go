@@ -224,11 +224,12 @@ type Problem struct {
 	Monitor Monitor
 }
 
-// SurfacePoint is one station of a surface distribution.
+// SurfacePoint is one station of a surface distribution. The JSON tags are
+// the wire form used by result artifacts and the run ledger (envjson.go).
 type SurfacePoint struct {
-	S float64 // arc length, m
-	Q float64 // heat flux, W/m^2
-	P float64 // surface pressure, Pa
+	S float64 `json:"s"` // arc length, m
+	Q float64 `json:"q"` // heat flux, W/m^2
+	P float64 `json:"p"` // surface pressure, Pa
 }
 
 // Environment is the aerothermal-environment report.

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ClassName returns the case-file name of a solver class ("vsl", "ebl",
+// "pns", "ns"), or the empty string for a class with no declarative name —
+// the inverse of ParseClass, for JSON views and ledger metadata.
+func ClassName(c SolverClass) string {
+	return classNames[c]
+}
+
+// envJSON is the stable wire form of an Environment: the result artifact
+// written by `catsim run -out`, stored in ledger entries and returned by
+// the serve API. The solver-specific Raw payload has no portable encoding
+// and is dropped; everything else round-trips.
+type envJSON struct {
+	Class       string         `json:"class"`
+	QConvStag   float64        `json:"q_conv_stag"`
+	QRadStag    float64        `json:"q_rad_stag,omitempty"`
+	Standoff    float64        `json:"standoff,omitempty"`
+	Surface     []SurfacePoint `json:"surface,omitempty"`
+	Description string         `json:"description,omitempty"`
+}
+
+// MarshalJSON encodes the environment in its stable wire form: the class as
+// its case-file name, snake_case keys, the solver-specific Raw payload
+// dropped (it has no portable encoding).
+func (e Environment) MarshalJSON() ([]byte, error) {
+	name, ok := classNames[e.Class]
+	if !ok {
+		return nil, fmt.Errorf("core: environment class %d has no case-file name", e.Class)
+	}
+	return json.Marshal(envJSON{
+		Class:       name,
+		QConvStag:   e.QConvStag,
+		QRadStag:    e.QRadStag,
+		Standoff:    e.Standoff,
+		Surface:     e.Surface,
+		Description: e.Description,
+	})
+}
+
+// UnmarshalJSON decodes the wire form produced by MarshalJSON. Raw is left
+// nil: a deserialized environment carries the report, not the live solver
+// state.
+func (e *Environment) UnmarshalJSON(data []byte) error {
+	var v envJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	class, err := ParseClass(v.Class)
+	if err != nil {
+		return err
+	}
+	*e = Environment{
+		Class:       class,
+		QConvStag:   v.QConvStag,
+		QRadStag:    v.QRadStag,
+		Standoff:    v.Standoff,
+		Surface:     v.Surface,
+		Description: v.Description,
+	}
+	return nil
+}

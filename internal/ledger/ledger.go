@@ -1,0 +1,370 @@
+// Package ledger is the persistent, content-addressed run store behind
+// `catsim serve` and `catsim run -ledger`: solved aerothermal environments
+// keyed by the canonical SHA-256 of their case (core.CaseKey), so repeat
+// traffic for the same flight condition is served from disk instead of
+// re-solved, and long campaigns survive process restarts.
+//
+// # Layout
+//
+// One directory per ledger, one JSON file per entry, sharded by the first
+// two hex digits of the key to keep directory fan-out bounded:
+//
+//	<root>/ab/abcdef…0123.json
+//
+// # Crash safety
+//
+// Entries are written to a temporary file in the destination directory,
+// flushed, and atomically renamed into place, so a reader never observes a
+// partially written entry under its final name. Defense in depth on the
+// read side: every Get re-verifies the entry's format version, key and
+// result checksum, and a file that fails any of these (for example a
+// half-written file restored from a snapshot, or bit rot) is quarantined —
+// removed and reported as a miss — so a corrupt entry is re-solved, never
+// served.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// FormatVersion is the on-disk entry schema version. Entries written with a
+// different version are treated as misses (and left in place for the
+// version that owns them).
+const FormatVersion = 1
+
+// keyLen is the length of a lowercase-hex SHA-256 content key.
+const keyLen = sha256.Size * 2
+
+// Entry is one stored run: the canonical case, the marshaled result
+// artifact, and solver-provenance metadata including the final convergence
+// snapshot.
+type Entry struct {
+	Format int    `json:"format"`
+	Key    string `json:"key"`
+	// Spec is the canonical case JSON the key was computed from
+	// (core.CanonicalJSON), stored so `ledger ls|get` can describe entries
+	// without the original case file.
+	Spec json.RawMessage `json:"spec"`
+	// Result is the marshaled Environment — byte-for-byte the artifact
+	// `catsim run -out` writes and the serve API returns.
+	Result json.RawMessage `json:"result"`
+	// Snapshot is the run's terminal snapshot (state, step count, final
+	// residual, retained history), when the producer had one.
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+	Solver   string          `json:"solver,omitempty"`  // registry name of the executing solver
+	Version  string          `json:"version,omitempty"` // toolkit version that produced the result
+	Created  time.Time       `json:"created"`
+	// ElapsedMS is the wall-clock cost of the original solve — what a hit
+	// saves.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Checksum is the hex SHA-256 of Result, verified on every Get.
+	Checksum string `json:"checksum"`
+}
+
+// Stats are the ledger's monotonic operation counters.
+type Stats struct {
+	Hits    int64 // Get found a valid entry
+	Misses  int64 // Get found nothing
+	Corrupt int64 // Get quarantined an invalid entry
+	Puts    int64 // entries written
+}
+
+// Ledger is a content-addressed store rooted at one directory. All methods
+// are safe for concurrent use by any number of processes: writes are
+// atomic renames and reads verify integrity, so CLI and server can share
+// one ledger.
+type Ledger struct {
+	dir string
+
+	hits, misses, corrupt, puts atomic.Int64
+}
+
+// Open opens (creating if needed) the ledger rooted at dir.
+func Open(dir string) (*Ledger, error) {
+	if dir == "" {
+		return nil, errors.New("ledger: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: open: %w", err)
+	}
+	return &Ledger{dir: dir}, nil
+}
+
+// Dir returns the ledger's root directory.
+func (l *Ledger) Dir() string { return l.dir }
+
+// Stats returns a snapshot of the operation counters.
+func (l *Ledger) Stats() Stats {
+	return Stats{
+		Hits:    l.hits.Load(),
+		Misses:  l.misses.Load(),
+		Corrupt: l.corrupt.Load(),
+		Puts:    l.puts.Load(),
+	}
+}
+
+// path maps a key to its entry file, sharded on the leading two hex digits.
+func (l *Ledger) path(key string) string {
+	return filepath.Join(l.dir, key[:2], key+".json")
+}
+
+func validKey(key string) bool {
+	if len(key) != keyLen {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// checksum is the integrity digest of an entry's result bytes.
+func checksum(result []byte) string {
+	sum := sha256.Sum256(result)
+	return hex.EncodeToString(sum[:])
+}
+
+// Get returns the stored entry for a key, or nil when the ledger has none.
+// An entry that exists but fails verification — truncated or otherwise
+// half-written, wrong key, checksum mismatch — is quarantined: removed,
+// counted in Stats.Corrupt, and reported as a miss, so the caller re-solves
+// instead of serving a corrupt result. A different format version is a
+// plain miss.
+func (l *Ledger) Get(key string) (*Entry, error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("ledger: invalid key %q", key)
+	}
+	data, err := os.ReadFile(l.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		l.misses.Add(1)
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ledger: get %s: %w", key, err)
+	}
+	e, err := decodeEntry(data, key)
+	if err != nil {
+		// Half-written or damaged: quarantine so the next writer can
+		// replace it with a good entry.
+		l.corrupt.Add(1)
+		_ = os.Remove(l.path(key))
+		return nil, nil
+	}
+	if e == nil {
+		// Foreign format version: not ours to serve or to delete.
+		l.misses.Add(1)
+		return nil, nil
+	}
+	l.hits.Add(1)
+	return e, nil
+}
+
+// decodeEntry parses and verifies one entry file. A nil entry with nil
+// error means a foreign (newer/older) format version; an error means the
+// entry is damaged and should be quarantined.
+func decodeEntry(data []byte, wantKey string) (*Entry, error) {
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, err
+	}
+	if e.Format != FormatVersion {
+		return nil, nil
+	}
+	if wantKey != "" && e.Key != wantKey {
+		return nil, fmt.Errorf("ledger: entry key %q under file for %q", e.Key, wantKey)
+	}
+	if len(e.Result) == 0 || e.Checksum != checksum(e.Result) {
+		return nil, errors.New("ledger: result checksum mismatch")
+	}
+	return &e, nil
+}
+
+// Put stores an entry, computing its checksum and stamping the format
+// version. The write is atomic (temp file + rename): concurrent writers of
+// the same key race benignly — both write valid, semantically identical
+// entries — and a crash mid-write leaves only a temp file the next GC
+// sweeps up, never a damaged entry under the final name.
+func (l *Ledger) Put(e *Entry) error {
+	if e == nil || !validKey(e.Key) {
+		return fmt.Errorf("ledger: put: invalid entry key")
+	}
+	if len(e.Result) == 0 {
+		return errors.New("ledger: put: empty result")
+	}
+	stored := *e
+	stored.Format = FormatVersion
+	stored.Checksum = checksum(stored.Result)
+	if stored.Created.IsZero() {
+		stored.Created = time.Now().UTC()
+	}
+	data, err := json.Marshal(&stored)
+	if err != nil {
+		return fmt.Errorf("ledger: put %s: %w", e.Key, err)
+	}
+
+	dst := l.path(stored.Key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("ledger: put %s: %w", e.Key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+stored.Key[:8]+".tmp-")
+	if err != nil {
+		return fmt.Errorf("ledger: put %s: %w", e.Key, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ledger: put %s: %w", e.Key, err)
+	}
+	// Flush file contents before the rename publishes the name, so a crash
+	// cannot leave a published-but-empty entry.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ledger: put %s: %w", e.Key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ledger: put %s: %w", e.Key, err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return fmt.Errorf("ledger: put %s: %w", e.Key, err)
+	}
+	l.puts.Add(1)
+	return nil
+}
+
+// Delete removes an entry. Deleting an absent key is not an error.
+func (l *Ledger) Delete(key string) error {
+	if !validKey(key) {
+		return fmt.Errorf("ledger: invalid key %q", key)
+	}
+	err := os.Remove(l.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Keys returns every stored key in sorted order, without decoding entries.
+func (l *Ledger) Keys() ([]string, error) {
+	var keys []string
+	err := l.walk(func(key, _ string) error {
+		keys = append(keys, key)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Entries decodes every valid stored entry, sorted by key. Entries that
+// fail verification are skipped (they are quarantined by the next Get that
+// addresses them); foreign format versions are skipped silently.
+func (l *Ledger) Entries() ([]*Entry, error) {
+	var out []*Entry
+	err := l.walk(func(key, path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil // racing deletion
+		}
+		if e, err := decodeEntry(data, key); err == nil && e != nil {
+			out = append(out, e)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// walk visits every plausible entry file as (key, path).
+func (l *Ledger) walk(visit func(key, path string) error) error {
+	shards, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(l.dir, shard.Name()))
+		if err != nil {
+			continue // racing removal of an emptied shard
+		}
+		for _, f := range files {
+			key, ok := strings.CutSuffix(f.Name(), ".json")
+			if !ok || !validKey(key) || key[:2] != shard.Name() {
+				continue
+			}
+			if err := visit(key, filepath.Join(l.dir, shard.Name(), f.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GC removes entries created before the cutoff (a zero cutoff keeps all
+// entries) plus any abandoned temp files from crashed writers, and reports
+// how many entries it removed. Entries that fail verification are removed
+// regardless of age — they could never be served.
+func (l *Ledger) GC(before time.Time) (removed int, err error) {
+	shards, err := os.ReadDir(l.dir)
+	if err != nil {
+		return 0, fmt.Errorf("ledger: gc: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		dir := filepath.Join(l.dir, shard.Name())
+		files, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			path := filepath.Join(dir, f.Name())
+			if strings.Contains(f.Name(), ".tmp-") {
+				// A writer that crashed between CreateTemp and rename; any
+				// live writer holds its temp open for well under a second,
+				// so only clearly abandoned files are swept.
+				if info, err := f.Info(); err == nil && time.Since(info.ModTime()) > time.Minute {
+					_ = os.Remove(path)
+				}
+				continue
+			}
+			key, ok := strings.CutSuffix(f.Name(), ".json")
+			if !ok || !validKey(key) {
+				continue
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			e, derr := decodeEntry(data, key)
+			expired := derr == nil && e != nil && !before.IsZero() && e.Created.Before(before)
+			if derr != nil || expired {
+				if os.Remove(path) == nil {
+					removed++
+				}
+			}
+		}
+	}
+	return removed, nil
+}

@@ -1,0 +1,322 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testKey builds a deterministic valid content key from a seed.
+func testKey(seed string) string {
+	sum := sha256.Sum256([]byte(seed))
+	return hex.EncodeToString(sum[:])
+}
+
+func testEntry(seed string) *Entry {
+	return &Entry{
+		Key:       testKey(seed),
+		Spec:      json.RawMessage(`{"class":"ns","p_inf":100}`),
+		Result:    json.RawMessage(fmt.Sprintf(`{"class":"ns","q_conv_stag":%d}`, len(seed))),
+		Solver:    "ns",
+		Version:   "test",
+		ElapsedMS: 12.5,
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("roundtrip")
+	if err := l.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Get(e.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("stored entry missed")
+	}
+	if string(got.Result) != string(e.Result) {
+		t.Fatalf("result round-trip: got %s want %s", got.Result, e.Result)
+	}
+	if got.Solver != e.Solver || got.Version != e.Version || got.ElapsedMS != e.ElapsedMS {
+		t.Fatalf("metadata round-trip: got %+v", got)
+	}
+	if got.Format != FormatVersion {
+		t.Fatalf("format not stamped: %d", got.Format)
+	}
+	if got.Created.IsZero() {
+		t.Fatal("created not stamped")
+	}
+	if st := l.Stats(); st.Hits != 1 || st.Puts != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestSurvivesReopen is the restart-persistence acceptance check at the
+// store level: a new Ledger over the same directory — a restarted process —
+// still hits.
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("reopen")
+	if err := l.Put(e); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := l2.Get(e.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || string(got.Result) != string(e.Result) {
+		t.Fatalf("entry did not survive reopen: %+v", got)
+	}
+}
+
+func TestMissIsNilNil(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Get(testKey("never stored"))
+	if err != nil || got != nil {
+		t.Fatalf("miss: got %v, %v", got, err)
+	}
+	if st := l.Stats(); st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestInvalidKeyRejected(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", strings.Repeat("z", 64), strings.Repeat("A", 64)} {
+		if _, err := l.Get(key); err == nil {
+			t.Errorf("Get(%q): no error", key)
+		}
+		if err := l.Put(&Entry{Key: key, Result: json.RawMessage(`{}`)}); err == nil {
+			t.Errorf("Put(%q): no error", key)
+		}
+	}
+}
+
+// TestHalfWrittenEntryQuarantined: a truncated entry file — the on-disk
+// signature of a crash mid-write without the atomic rename, or of file
+// damage — must be detected, removed and reported as a miss, never served.
+func TestHalfWrittenEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("torn")
+	if err := l.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, e.Key[:2], e.Key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-document, as a torn write would.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := l.Get(e.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("half-written entry served: %+v", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("half-written entry not quarantined")
+	}
+	if st := l.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// The quarantined slot accepts a fresh solve.
+	if err := l.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := l.Get(e.Key); got == nil {
+		t.Fatal("re-put after quarantine missed")
+	}
+}
+
+// TestTamperedResultQuarantined: a syntactically valid entry whose result
+// bytes no longer match the checksum must not be served.
+func TestTamperedResultQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("tamper")
+	if err := l.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, e.Key[:2], e.Key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"q_conv_stag":6`, `"q_conv_stag":7`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found in entry")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := l.Get(e.Key); err != nil || got != nil {
+		t.Fatalf("tampered entry served: %v, %v", got, err)
+	}
+}
+
+func TestForeignFormatIsMissNotQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("future format")
+	path := filepath.Join(dir, key[:2], key+".json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	future := fmt.Sprintf(`{"format":%d,"key":%q,"result":{},"checksum":"x"}`, FormatVersion+1, key)
+	if err := os.WriteFile(path, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := l.Get(key); err != nil || got != nil {
+		t.Fatalf("foreign format: got %v, %v", got, err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("foreign-format entry was deleted")
+	}
+}
+
+func TestKeysAndEntries(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 5; i++ {
+		e := testEntry(fmt.Sprintf("entry %d", i))
+		if err := l.Put(e); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, e.Key)
+	}
+	keys, err := l.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("keys: got %d want %d", len(keys), len(want))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("keys not sorted")
+		}
+	}
+	entries, err := l.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("entries: got %d want %d", len(entries), len(want))
+	}
+}
+
+func TestGC(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := testEntry("old entry")
+	old.Created = time.Now().UTC().Add(-48 * time.Hour)
+	fresh := testEntry("fresh entry")
+	if err := l.Put(old); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put(fresh); err != nil {
+		t.Fatal(err)
+	}
+	// A damaged entry is always collected, whatever its age.
+	damaged := testEntry("damaged entry")
+	if err := l.Put(damaged); err != nil {
+		t.Fatal(err)
+	}
+	dpath := filepath.Join(dir, damaged.Key[:2], damaged.Key+".json")
+	if err := os.WriteFile(dpath, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := l.GC(time.Now().UTC().Add(-24 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("gc removed %d, want 2 (expired + damaged)", removed)
+	}
+	if got, _ := l.Get(old.Key); got != nil {
+		t.Fatal("expired entry survived gc")
+	}
+	if got, _ := l.Get(fresh.Key); got == nil {
+		t.Fatal("fresh entry collected")
+	}
+
+	// A zero cutoff keeps everything.
+	if removed, err := l.GC(time.Time{}); err != nil || removed != 0 {
+		t.Fatalf("zero-cutoff gc: removed %d, %v", removed, err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := testEntry(fmt.Sprintf("concurrent %d", i%4)) // contended keys
+			if err := l.Put(e); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := l.Get(e.Key)
+			if err != nil || got == nil {
+				t.Errorf("get after put: %v, %v", got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

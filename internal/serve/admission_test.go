@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitQueued polls until the admitter shows n total queued waiters.
+func waitQueued(t *testing.T, a *admitter, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		q := a.queued()
+		if q[prioLow]+q[prioNormal]+q[prioHigh] == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached %d waiters: %v", n, a.queued())
+}
+
+// TestLaneOrdering: with one slot held and one waiter in each lane, freed
+// slots go high → normal → low regardless of arrival order.
+func TestLaneOrdering(t *testing.T) {
+	a := newAdmitter(1)
+	if err := a.acquire(context.Background(), prioNormal); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []priority
+	var wg sync.WaitGroup
+	// Arrival order low, normal, high — the opposite of admission order.
+	for _, lane := range []priority{prioLow, prioNormal, prioHigh} {
+		wg.Add(1)
+		go func(lane priority) {
+			defer wg.Done()
+			if err := a.acquire(context.Background(), lane); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, lane)
+			mu.Unlock()
+			a.release()
+		}(lane)
+		waitQueued(t, a, int(lane)+1)
+	}
+
+	a.release() // free the held slot; the chain drains highest-first
+	wg.Wait()
+	want := []priority{prioHigh, prioNormal, prioLow}
+	for i, lane := range want {
+		if order[i] != lane {
+			t.Fatalf("admission order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestLaneFIFOWithinLane: same-lane waiters are admitted in arrival order.
+func TestLaneFIFOWithinLane(t *testing.T) {
+	a := newAdmitter(1)
+	if err := a.acquire(context.Background(), prioNormal); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := a.acquire(context.Background(), prioNormal); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			a.release()
+		}(i)
+		waitQueued(t, a, i+1)
+	}
+	a.release()
+	wg.Wait()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-lane admission order %v, want FIFO", order)
+		}
+	}
+}
+
+// TestAcquireCancel: a canceled waiter withdraws from its lane and does not
+// leak the slot.
+func TestAcquireCancel(t *testing.T) {
+	a := newAdmitter(1)
+	if err := a.acquire(context.Background(), prioNormal); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.acquire(ctx, prioHigh) }()
+	waitQueued(t, a, 1)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled acquire returned nil")
+	}
+	if q := a.queued(); q[prioHigh] != 0 {
+		t.Fatalf("canceled waiter still queued: %v", q)
+	}
+	// The held slot still releases cleanly to a fresh waiter.
+	a.release()
+	if err := a.acquire(context.Background(), prioLow); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuotaTakeAndRefill drives the token bucket with explicit clocks, so
+// the arithmetic is deterministic: burst spends down, an empty bucket
+// reports a positive retry delay, and tokens accrue at the configured rate.
+func TestQuotaTakeAndRefill(t *testing.T) {
+	q := newQuotas(50, 2) // 50 tokens/s, depth 2
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.take("alice", t0); !ok {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	ok, retry := q.take("alice", t0)
+	if ok {
+		t.Fatal("take beyond burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry-after %v implausible for 50/s", retry)
+	}
+	// One token accrues in 20 ms at 50/s.
+	if ok, _ := q.take("alice", t0.Add(25*time.Millisecond)); !ok {
+		t.Fatal("token did not refill")
+	}
+	// Quotas are per client: bob is untouched by alice's spending.
+	if ok, _ := q.take("bob", t0); !ok {
+		t.Fatal("independent client refused")
+	}
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	q := newQuotas(0, 1)
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := q.take("anyone", t0); !ok {
+			t.Fatal("disabled quota refused a take")
+		}
+	}
+}
+
+func TestParsePriority(t *testing.T) {
+	for s, want := range map[string]priority{
+		"": prioNormal, "low": prioLow, "normal": prioNormal, "high": prioHigh,
+	} {
+		got, err := parsePriority(s)
+		if err != nil || got != want {
+			t.Errorf("parsePriority(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := parsePriority("urgent"); err == nil {
+		t.Error("unknown priority accepted")
+	}
+}

@@ -1,0 +1,747 @@
+// Package serve is the HTTP/JSON front end of the toolkit: an aerothermal
+// solve service over cataero.Session with a persistent, content-addressed
+// run ledger. Millions of reentry-heating queries cluster around a few
+// thousand flight conditions; the ledger turns that repeat traffic into
+// disk hits, and the admission layer (priority lanes, per-client quotas)
+// keeps the solver farm responsive under mixed interactive/bulk load.
+//
+// # Endpoints
+//
+//	GET  /healthz                 liveness (also reports ledger stats)
+//	POST /api/runs                submit one CaseSpec; ?wait=1 blocks for the
+//	                              result. Ledger hits return immediately with
+//	                              "cached": true; misses return 202 + run ID
+//	                              (in-flight duplicates coalesce onto one run).
+//	GET  /api/runs                list known runs, newest first
+//	GET  /api/runs/{id}           run status: snapshot, and result when done
+//	GET  /api/runs/{id}/events    SSE progress stream (snapshot events, then
+//	                              one done event); plain GET is the polling
+//	                              fallback
+//	DELETE /api/runs/{id}         cancel a queued or running solve
+//	POST /api/batch               submit an array of CaseSpecs (the HTTP form
+//	                              of Session.SubmitAll); per-case hit/miss
+//	GET  /api/ledger              list ledger entries
+//	GET  /api/ledger/{key}        fetch one ledger entry
+//
+// Requests authenticate a client (for quota accounting only) with the
+// X-API-Key header, and pick an admission lane with X-Priority: low,
+// normal (default) or high.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cataero"
+	"cataero/internal/ledger"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Session executes the solves. Required. Its admission width should be
+	// at least Workers (cmd/catsim sizes the two together) so the session's
+	// FIFO never reorders what the priority lanes decided.
+	Session *cataero.Session
+	// Ledger is the persistent run store; nil serves without caching.
+	Ledger *ledger.Ledger
+	// Workers bounds concurrently executing solves (default GOMAXPROCS via
+	// the session; the admitter floors at 1).
+	Workers int
+	// QuotaRate is the per-client solve-admission rate in requests/second;
+	// <= 0 disables quotas.
+	QuotaRate float64
+	// QuotaBurst is the token-bucket depth (default 1 when limiting).
+	QuotaBurst int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// maxBodyBytes bounds a request body; case specs are small.
+const maxBodyBytes = 1 << 20
+
+// maxBatchCases bounds one batch submission.
+const maxBatchCases = 256
+
+// maxRetainedRuns bounds the in-memory run registry; the oldest finished
+// runs are evicted beyond it (their results live on in the ledger).
+const maxRetainedRuns = 4096
+
+// Server is the solve service. Create with New, expose via Handler, stop
+// with Close.
+type Server struct {
+	cfg Config
+	adm *admitter
+	quo *quotas
+	mux *http.ServeMux
+
+	ctx    context.Context // lifetime of background solves
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	runs   map[string]*srvRun // by ID
+	byKey  map[string]*srvRun // in-flight only: coalesces duplicate submissions
+	order  []*srvRun          // submission order, for listing and eviction
+	nextID uint64
+}
+
+// srvRun is one submitted solve tracked by the server. Lifecycle fields are
+// published by channel close: run is valid once admitted is closed; result,
+// finalSnap and err once done is closed.
+type srvRun struct {
+	id       string
+	key      string
+	name     string
+	lane     priority
+	created  time.Time
+	spec     json.RawMessage // canonical case JSON (the hashed bytes)
+	problem  cataero.Problem
+	cancel   context.CancelFunc
+	admitted chan struct{}
+	done     chan struct{}
+
+	run       *cataero.Run
+	result    json.RawMessage
+	finalSnap cataero.Snapshot
+	err       error
+}
+
+// New builds a Server and starts nothing: solves run on demand, each on its
+// own goroutine gated by the admitter.
+func New(cfg Config) (*Server, error) {
+	if cfg.Session == nil {
+		return nil, errors.New("serve: Config.Session is required")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		adm:    newAdmitter(cfg.Workers),
+		quo:    newQuotas(cfg.QuotaRate, cfg.QuotaBurst),
+		mux:    http.NewServeMux(),
+		ctx:    ctx,
+		cancel: cancel,
+		runs:   make(map[string]*srvRun),
+		byKey:  make(map[string]*srvRun),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /api/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/runs", s.handleListRuns)
+	s.mux.HandleFunc("GET /api/runs/{id}", s.handleRunStatus)
+	s.mux.HandleFunc("GET /api/runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("DELETE /api/runs/{id}", s.handleRunCancel)
+	s.mux.HandleFunc("POST /api/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /api/ledger", s.handleLedgerList)
+	s.mux.HandleFunc("GET /api/ledger/{key}", s.handleLedgerGet)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels every in-flight solve and stops accepting work's effects;
+// the HTTP listener (owned by the caller) should be shut down first.
+func (s *Server) Close() { s.cancel() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// --- responses ---
+
+// runView is the wire form of a run: submission metadata, the live
+// snapshot, and the result artifact once available. A ledger hit is a
+// synthetic view with Cached set and no ID (nothing to poll).
+type runView struct {
+	ID       string `json:"id,omitempty"`
+	Key      string `json:"key"`
+	Name     string `json:"name,omitempty"`
+	Priority string `json:"priority,omitempty"`
+	State    string `json:"state"`
+	Cached   bool   `json:"cached"`
+	// Coalesced marks a submission that attached to an identical case
+	// already in flight instead of starting a new solve.
+	Coalesced bool            `json:"coalesced,omitempty"`
+	Created   time.Time       `json:"created,omitzero"`
+	Snapshot  json.RawMessage `json:"snapshot,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	// SolvedInMS is the wall clock of the solve that produced the result —
+	// for a cached response, the original solve this hit avoided.
+	SolvedInMS float64 `json:"solved_in_ms,omitempty"`
+	Solver     string  `json:"solver,omitempty"`
+	Version    string  `json:"version,omitempty"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{"status": "ok", "version": cataero.Version}
+	if s.cfg.Ledger != nil {
+		resp["ledger"] = s.cfg.Ledger.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// submission is one parsed, keyed case ready for admission.
+type submission struct {
+	problem cataero.Problem
+	key     string
+	spec    json.RawMessage
+	name    string
+}
+
+// prepare normalizes a problem against the session and computes its
+// content key.
+func (s *Server) prepare(p cataero.Problem) (submission, error) {
+	np, err := s.cfg.Session.Normalize(p)
+	if err != nil {
+		return submission{}, err
+	}
+	spec, err := cataero.CanonicalJSON(np)
+	if err != nil {
+		return submission{}, err
+	}
+	key, err := cataero.CaseKey(np)
+	if err != nil {
+		return submission{}, err
+	}
+	return submission{problem: np, key: key, spec: spec, name: p.Name}, nil
+}
+
+// lookupLedger returns the cached view for a key, when the ledger holds a
+// valid entry.
+func (s *Server) lookupLedger(key string) *runView {
+	if s.cfg.Ledger == nil {
+		return nil
+	}
+	e, err := s.cfg.Ledger.Get(key)
+	if err != nil || e == nil {
+		return nil
+	}
+	return &runView{
+		Key:        e.Key,
+		State:      cataero.RunDone.String(),
+		Cached:     true,
+		Snapshot:   e.Snapshot,
+		Result:     e.Result,
+		SolvedInMS: e.ElapsedMS,
+		Solver:     e.Solver,
+		Version:    e.Version,
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	lane, err := parsePriority(r.Header.Get("X-Priority"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var p cataero.Problem
+	if err := json.NewDecoder(body).Decode(&p); err != nil {
+		writeError(w, http.StatusBadRequest, "parse case: %v", err)
+		return
+	}
+	sub, err := s.prepare(p)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if hit := s.lookupLedger(sub.key); hit != nil {
+		writeJSON(w, http.StatusOK, hit)
+		return
+	}
+
+	sr, coalesced, retryAfter := s.admit(sub, lane, clientKey(r))
+	if sr == nil {
+		retryAfterError(w, retryAfter)
+		return
+	}
+	s.respondRun(w, r, sr, coalesced)
+}
+
+// clientKey identifies the quota account of a request.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	return "anonymous"
+}
+
+func retryAfterError(w http.ResponseWriter, retryAfter time.Duration) {
+	secs := int(retryAfter/time.Second) + 1
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeError(w, http.StatusTooManyRequests,
+		"quota exhausted; retry in %ds", secs)
+}
+
+// admit registers a new run for the submission — or coalesces onto an
+// identical in-flight one — charging the client's quota only for genuinely
+// new solves. A nil run means the quota rejected the submission.
+func (s *Server) admit(sub submission, lane priority, client string) (sr *srvRun, coalesced bool, retryAfter time.Duration) {
+	s.mu.Lock()
+	if existing := s.byKey[sub.key]; existing != nil {
+		s.mu.Unlock()
+		return existing, true, 0
+	}
+	if ok, wait := s.quo.take(client, time.Now()); !ok {
+		s.mu.Unlock()
+		return nil, false, wait
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	s.nextID++
+	sr = &srvRun{
+		id:       fmt.Sprintf("r%06d", s.nextID),
+		key:      sub.key,
+		name:     sub.name,
+		lane:     lane,
+		created:  time.Now().UTC(),
+		spec:     sub.spec,
+		problem:  sub.problem,
+		cancel:   cancel,
+		admitted: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.runs[sr.id] = sr
+	s.byKey[sub.key] = sr
+	s.order = append(s.order, sr)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	go s.execute(ctx, sr)
+	return sr, false, 0
+}
+
+// evictLocked drops the oldest finished runs beyond the retention bound.
+func (s *Server) evictLocked() {
+	if len(s.order) <= maxRetainedRuns {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - maxRetainedRuns
+	for _, sr := range s.order {
+		finished := false
+		select {
+		case <-sr.done:
+			finished = true
+		default:
+		}
+		if excess > 0 && finished {
+			delete(s.runs, sr.id)
+			excess--
+			continue
+		}
+		kept = append(kept, sr)
+	}
+	s.order = kept
+}
+
+// execute runs one admitted solve to completion: lane gate, session
+// submission, ledger write-back.
+func (s *Server) execute(ctx context.Context, sr *srvRun) {
+	defer close(sr.done)
+	if err := s.adm.acquire(ctx, sr.lane); err != nil {
+		sr.err = err
+		s.unkey(sr)
+		return
+	}
+	defer s.adm.release()
+
+	run := s.cfg.Session.Submit(ctx, sr.problem)
+	sr.run = run
+	close(sr.admitted)
+
+	env, err := run.Wait()
+	sr.finalSnap = run.Snapshot()
+	if err != nil {
+		sr.err = err
+		s.unkey(sr)
+		return
+	}
+	result, err := json.Marshal(env)
+	if err != nil {
+		sr.err = fmt.Errorf("marshal result: %w", err)
+		s.unkey(sr)
+		return
+	}
+	sr.result = result
+
+	if s.cfg.Ledger != nil {
+		snapJSON, err := json.Marshal(sr.finalSnap)
+		if err != nil {
+			snapJSON = nil
+		}
+		entry := &ledger.Entry{
+			Key:       sr.key,
+			Spec:      sr.spec,
+			Result:    result,
+			Snapshot:  snapJSON,
+			Solver:    sr.finalSnap.Solver,
+			Version:   cataero.Version,
+			ElapsedMS: float64(sr.finalSnap.Elapsed) / float64(time.Millisecond),
+		}
+		if err := s.cfg.Ledger.Put(entry); err != nil {
+			s.logf("serve: ledger put %s: %v", sr.key, err)
+		}
+	}
+	// Unkey only after the ledger write: a submission arriving in between
+	// either coalesces onto this run or hits the fresh entry — never both
+	// misses into a duplicate solve.
+	s.unkey(sr)
+}
+
+// unkey removes a finished run from the in-flight coalescing index.
+func (s *Server) unkey(sr *srvRun) {
+	s.mu.Lock()
+	if s.byKey[sr.key] == sr {
+		delete(s.byKey, sr.key)
+	}
+	s.mu.Unlock()
+}
+
+// respondRun answers a submission: synchronously when ?wait is set,
+// otherwise 202 with the ID to poll.
+func (s *Server) respondRun(w http.ResponseWriter, r *http.Request, sr *srvRun, coalesced bool) {
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-sr.done:
+			v := s.view(sr)
+			v.Coalesced = coalesced
+			code := http.StatusOK
+			if v.Error != "" {
+				code = http.StatusInternalServerError
+			}
+			writeJSON(w, code, v)
+		case <-r.Context().Done():
+			// Client went away; the solve continues for the ledger.
+		}
+		return
+	}
+	v := s.view(sr)
+	v.Coalesced = coalesced
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// view assembles the wire form of a run from its published lifecycle state.
+func (s *Server) view(sr *srvRun) runView {
+	v := runView{
+		ID:       sr.id,
+		Key:      sr.key,
+		Name:     sr.name,
+		Priority: sr.lane.String(),
+		Created:  sr.created,
+		State:    cataero.RunQueued.String(),
+	}
+	select {
+	case <-sr.done:
+		v.State = cataero.RunDone.String()
+		// A run canceled before reaching the session has no snapshot or
+		// solver provenance to report — only its error.
+		if sr.run != nil {
+			if snap, err := json.Marshal(sr.finalSnap); err == nil {
+				v.Snapshot = snap
+			}
+			v.SolvedInMS = float64(sr.finalSnap.Elapsed) / float64(time.Millisecond)
+			v.Solver = sr.finalSnap.Solver
+		}
+		v.Result = sr.result
+		if sr.err != nil {
+			v.Error = sr.err.Error()
+		}
+		return v
+	default:
+	}
+	select {
+	case <-sr.admitted:
+		snap := sr.run.Snapshot()
+		v.State = snap.State.String()
+		if data, err := json.Marshal(snap); err == nil {
+			v.Snapshot = data
+		}
+	default:
+	}
+	return v
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	runs := make([]*srvRun, len(s.order))
+	copy(runs, s.order)
+	s.mu.Unlock()
+	views := make([]runView, 0, len(runs))
+	for _, sr := range runs {
+		views = append(views, s.view(sr))
+	}
+	sort.SliceStable(views, func(i, j int) bool { return views[i].Created.After(views[j].Created) })
+	if len(views) > 100 {
+		views = views[:100]
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) runByID(w http.ResponseWriter, r *http.Request) *srvRun {
+	s.mu.Lock()
+	sr := s.runs[r.PathValue("id")]
+	s.mu.Unlock()
+	if sr == nil {
+		writeError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+	}
+	return sr
+}
+
+func (s *Server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
+	if sr := s.runByID(w, r); sr != nil {
+		writeJSON(w, http.StatusOK, s.view(sr))
+	}
+}
+
+func (s *Server) handleRunCancel(w http.ResponseWriter, r *http.Request) {
+	sr := s.runByID(w, r)
+	if sr == nil {
+		return
+	}
+	sr.cancel()
+	writeJSON(w, http.StatusOK, s.view(sr))
+}
+
+// handleRunEvents streams run progress as Server-Sent Events: one
+// "snapshot" event per observed progress change and a final "done" event
+// carrying the full run view (result included). GET /api/runs/{id} is the
+// polling fallback for clients without SSE.
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	sr := s.runByID(w, r)
+	if sr == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	// Queued phase: the solve has not reached the session yet (priority
+	// lane wait); tick a queued snapshot so clients see liveness.
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	if !emit("snapshot", orQueued(s.view(sr).Snapshot)) {
+		return
+	}
+waitAdmitted:
+	for {
+		select {
+		case <-sr.admitted:
+			break waitAdmitted
+		case <-sr.done: // canceled while queued
+			break waitAdmitted
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			if !emit("snapshot", orQueued(s.view(sr).Snapshot)) {
+				return
+			}
+		}
+	}
+
+	// Running phase: latest-value snapshots until the watch channel closes
+	// at the terminal snapshot. sr.run is nil only when the run was
+	// canceled before reaching the session.
+	admitted := false
+	select {
+	case <-sr.admitted:
+		admitted = true
+	default:
+	}
+	if admitted && sr.run != nil {
+		watch := sr.run.Watch()
+		for {
+			select {
+			case snap, ok := <-watch:
+				if !ok {
+					goto finished
+				}
+				if !emit("snapshot", snap) {
+					return
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+
+finished:
+	select {
+	case <-sr.done:
+	case <-r.Context().Done():
+		return
+	}
+	emit("done", s.view(sr))
+}
+
+// orQueued substitutes a minimal queued-state document when a run has no
+// snapshot yet.
+func orQueued(raw json.RawMessage) json.RawMessage {
+	if len(raw) > 0 {
+		return raw
+	}
+	return json.RawMessage(fmt.Sprintf(`{"state":%q,"step":0,"elapsed_ms":0}`, cataero.RunQueued.String()))
+}
+
+// handleBatch submits an array of case specs — the HTTP form of
+// Session.SubmitAll: every case is attempted, hits come back inline, and
+// per-case failures never abort the batch. ?wait=1 blocks for all results.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	lane, err := parsePriority(r.Header.Get("X-Priority"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var problems []cataero.Problem
+	if err := json.NewDecoder(body).Decode(&problems); err != nil {
+		writeError(w, http.StatusBadRequest, "parse batch: %v", err)
+		return
+	}
+	if len(problems) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(problems) > maxBatchCases {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d cases exceeds the %d-case bound", len(problems), maxBatchCases)
+		return
+	}
+
+	client := clientKey(r)
+	views := make([]runView, len(problems))
+	var waits []*srvRun
+	waitIdx := make(map[*srvRun][]int)
+	for i, p := range problems {
+		sub, err := s.prepare(p)
+		if err != nil {
+			views[i] = runView{State: cataero.RunDone.String(), Error: err.Error()}
+			continue
+		}
+		if hit := s.lookupLedger(sub.key); hit != nil {
+			views[i] = *hit
+			continue
+		}
+		sr, coalesced, retryAfter := s.admit(sub, lane, client)
+		if sr == nil {
+			secs := int(retryAfter/time.Second) + 1
+			views[i] = runView{
+				Key:   sub.key,
+				State: cataero.RunDone.String(),
+				Error: fmt.Sprintf("quota exhausted; retry in %ds", secs),
+			}
+			continue
+		}
+		v := s.view(sr)
+		v.Coalesced = coalesced
+		views[i] = v
+		if _, seen := waitIdx[sr]; !seen {
+			waits = append(waits, sr)
+		}
+		waitIdx[sr] = append(waitIdx[sr], i)
+	}
+
+	if r.URL.Query().Get("wait") != "" {
+		for _, sr := range waits {
+			select {
+			case <-sr.done:
+			case <-r.Context().Done():
+				return
+			}
+			for _, i := range waitIdx[sr] {
+				coalesced := views[i].Coalesced
+				views[i] = s.view(sr)
+				views[i].Coalesced = coalesced
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleLedgerList(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Ledger == nil {
+		writeError(w, http.StatusNotFound, "no ledger configured")
+		return
+	}
+	entries, err := s.cfg.Ledger.Entries()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	type entryMeta struct {
+		Key       string    `json:"key"`
+		Solver    string    `json:"solver,omitempty"`
+		Version   string    `json:"version,omitempty"`
+		Created   time.Time `json:"created"`
+		ElapsedMS float64   `json:"elapsed_ms,omitempty"`
+	}
+	metas := make([]entryMeta, 0, len(entries))
+	for _, e := range entries {
+		metas = append(metas, entryMeta{
+			Key: e.Key, Solver: e.Solver, Version: e.Version,
+			Created: e.Created, ElapsedMS: e.ElapsedMS,
+		})
+	}
+	writeJSON(w, http.StatusOK, metas)
+}
+
+func (s *Server) handleLedgerGet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Ledger == nil {
+		writeError(w, http.StatusNotFound, "no ledger configured")
+		return
+	}
+	key := strings.ToLower(r.PathValue("key"))
+	e, err := s.cfg.Ledger.Get(key)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if e == nil {
+		writeError(w, http.StatusNotFound, "no entry for %s", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}

@@ -1,6 +1,7 @@
 package cataero
 
 import (
+	"encoding/json"
 	"sync"
 	"time"
 
@@ -32,10 +33,11 @@ func (s RunState) String() string {
 }
 
 // HistoryPoint is one retained (step, residual) sample of a run's
-// convergence history.
+// convergence history. The JSON tags are the wire form used by Snapshot
+// marshaling, the serve API's progress stream and ledger metadata.
 type HistoryPoint struct {
-	Step     int
-	Residual float64
+	Step     int     `json:"step"`
+	Residual float64 `json:"residual"`
 }
 
 // HistoryDepth is how many (step, residual) samples a run retains in its
@@ -62,6 +64,48 @@ type Snapshot struct {
 	Err      error         // terminal error; non-nil only when State == RunDone
 
 	history []HistoryPoint
+}
+
+// snapshotJSON is the exported wire view of a Snapshot: every field a
+// service needs to report progress, spelled with stable snake_case keys,
+// none of them reaching into unexported state. The state is its String form
+// ("queued", "running", "done"), the class its case-file name, the elapsed
+// time fractional milliseconds, and the error (if any) its message.
+type snapshotJSON struct {
+	State     string         `json:"state"`
+	Class     string         `json:"class,omitempty"`
+	Solver    string         `json:"solver,omitempty"`
+	Phase     string         `json:"phase,omitempty"`
+	Step      int            `json:"step"`
+	MaxSteps  int            `json:"max_steps,omitempty"`
+	Residual  float64        `json:"residual,omitempty"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	Error     string         `json:"error,omitempty"`
+	History   []HistoryPoint `json:"history,omitempty"`
+}
+
+// MarshalJSON encodes the snapshot in its stable wire form (see the field
+// list on snapshotJSON), including the retained residual history when the
+// snapshot carries one — the encoding behind the serve API's status and SSE
+// responses and the ledger's convergence metadata.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	v := snapshotJSON{
+		State: s.State.String(),
+		// Shock-shape runs do not dispatch on Class (see the Snapshot doc);
+		// the solver name identifies them.
+		Class:     core.ClassName(s.Class),
+		Solver:    s.Solver,
+		Phase:     s.Phase,
+		Step:      s.Step,
+		MaxSteps:  s.MaxSteps,
+		Residual:  s.Residual,
+		ElapsedMS: float64(s.Elapsed) / float64(time.Millisecond),
+		History:   s.history,
+	}
+	if s.Err != nil {
+		v.Error = s.Err.Error()
+	}
+	return json.Marshal(v)
 }
 
 // History returns the run's most recent (step, residual) samples in

@@ -214,6 +214,16 @@ func (s *Session) apply(p Problem) Problem {
 	return p
 }
 
+// Normalize returns the problem exactly as a Submit on this session would
+// solve it: session defaults stamped onto unset fields, then the
+// solve-independent defaults filled and the specification validated. This
+// is the form to hash (CaseKey) when fronting the session with a run
+// ledger — two problems that normalize identically on the same session
+// produce the same solve.
+func (s *Session) Normalize(p Problem) (Problem, error) {
+	return core.Normalize(s.apply(p))
+}
+
 // Submit starts one problem asynchronously and returns its Run handle
 // immediately. The run waits for a session solve slot (WithWorkers),
 // executes against the cached model stack, and exposes live progress via
