@@ -52,7 +52,7 @@ import (
 
 // Version identifies the toolkit release; ledger entries record it as
 // solver-provenance metadata.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // Problem is a complete aerothermal case specification. See core.Problem.
 type Problem = core.Problem
@@ -122,6 +122,12 @@ func FluxKernels() []string { return fvm.FluxKernels() }
 // integrators, ascending — the valid values of Problem.TimeStepping and
 // WithTimeStepping ("explicit", "implicit" out of the box).
 func TimeSteppings() []string { return fvm.Integrators() }
+
+// ImplicitSweeps returns the valid implicit sweep-pattern names — the
+// values of Problem.ImplicitSweep and WithImplicitSweep: "jline"
+// (wall-normal line relaxation only, the default) and "adi" (alternating
+// wall-normal and streamwise block-tridiagonal passes per step).
+func ImplicitSweeps() []string { return fvm.ImplicitSweeps() }
 
 // Limiters returns the names of the registered MUSCL slope limiters,
 // ascending — the valid values of Problem.Limiter and WithLimiter

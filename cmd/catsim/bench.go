@@ -79,7 +79,10 @@ func stepAllocsGate(results []BenchResult) bool {
 
 // diffBaseline compares results against a previous run's JSON by benchmark
 // name. ns/op and steps/op may regress by at most the fractional tol (timing
-// and convergence jitter); allocs/op must not grow at all.
+// and convergence jitter); allocs/op must not grow at all. The name sets
+// must match exactly in both directions — a benchmark missing from either
+// side is a hard failure, so a rename cannot silently drop its gate; adding
+// a benchmark means regenerating the baseline in the same change.
 func diffBaseline(results []BenchResult, path string, tol float64) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -99,7 +102,8 @@ func diffBaseline(results []BenchResult, path string, tol float64) bool {
 	for _, r := range results {
 		b, found := prev[r.Name]
 		if !found {
-			fmt.Printf("%-28s new benchmark (no baseline)\n", r.Name)
+			fmt.Fprintf(os.Stderr, "catsim bench: %s has no baseline entry; regenerate the baseline with -out\n", r.Name)
+			ok = false
 			continue
 		}
 		delete(prev, r.Name)
@@ -148,12 +152,13 @@ type BenchResult struct {
 }
 
 // benchStep measures one time step of the reference viscous case with the
-// given integrator.
-func benchStep(ni, nj int, ts string) (func(b *testing.B), error) {
+// given integrator and implicit sweep pattern ("" = the jline default).
+func benchStep(ni, nj int, ts, sweep string) (func(b *testing.B), error) {
 	g, o, err := fvm.ReferenceViscousCase(ni, nj, ts)
 	if err != nil {
 		return nil, err
 	}
+	o.ImplicitSweep = sweep
 	s, err := fvm.New(g, o)
 	if err != nil {
 		return nil, err
@@ -218,13 +223,14 @@ func runBenchmarks() ([]BenchResult, error) {
 
 	// Per-step cost of the hot paths (the Fig. 9 grid size).
 	for _, c := range []struct {
-		name string
-		ts   string
+		name      string
+		ts, sweep string
 	}{
-		{"StepViscousExplicit_20x32", fvm.TimeSteppingExplicit},
-		{"StepViscousImplicit_20x32", fvm.TimeSteppingImplicit},
+		{"StepViscousExplicit_20x32", fvm.TimeSteppingExplicit, ""},
+		{"StepViscousImplicit_20x32", fvm.TimeSteppingImplicit, ""},
+		{"StepViscousImplicitADI_20x32", fvm.TimeSteppingImplicit, fvm.ImplicitSweepADI},
 	} {
-		fn, err := benchStep(20, 32, c.ts)
+		fn, err := benchStep(20, 32, c.ts, c.sweep)
 		if err != nil {
 			return nil, err
 		}
@@ -255,5 +261,47 @@ func runBenchmarks() ([]BenchResult, error) {
 		r := testing.Benchmark(benchSolve(c.ni, c.nj, c.ts, c.seq, &steps))
 		record(c.name, r, steps)
 	}
+
+	// The high-aspect-ratio slender case, where the sweep schedule is the
+	// whole story: wall-normal-only relaxation stalls against the streamwise
+	// coupling and rides the 2000-step cap, while the alternating-direction
+	// schedule converges outright — the steps/op gate keeps that win honest.
+	for _, c := range []struct {
+		name  string
+		sweep string
+	}{
+		{"SolveSlenderJline_64x12", fvm.ImplicitSweepJLine},
+		{"SolveSlenderADI_64x12", fvm.ImplicitSweepADI},
+	} {
+		steps = 0
+		r := testing.Benchmark(benchSolveSlender(c.sweep, &steps))
+		record(c.name, r, steps)
+	}
 	return out, nil
+}
+
+// benchSolveSlender measures a capped solve of the high-aspect-ratio slender
+// case under the given implicit sweep; steps receives the step count (the cap
+// of 2000 when the sweep stalls).
+func benchSolveSlender(sweep string, steps *float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, o, err := fvm.ReferenceSlenderCase(64, 12, sweep)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			o.Progress = func(phase string, step, maxSteps int, residual float64) { n++ }
+			s, err := fvm.New(g, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.RunCtx(context.Background(), 2000, 5e-4); err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+			*steps = float64(n)
+		}
+	}
 }

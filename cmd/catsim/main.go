@@ -100,6 +100,12 @@ func checkTimeStepping(name string) bool {
 	return checkRegistered("time stepping", name, cataero.TimeSteppings())
 }
 
+// checkImplicitSweep validates an implicit sweep-pattern name against the
+// valid list.
+func checkImplicitSweep(name string) bool {
+	return checkRegistered("implicit sweep", name, cataero.ImplicitSweeps())
+}
+
 // checkLimiter validates a MUSCL slope-limiter name against the registry.
 func checkLimiter(name string) bool {
 	return checkRegistered("limiter", name, cataero.Limiters())

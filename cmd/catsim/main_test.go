@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -112,6 +113,54 @@ func TestCheckLimiterAndCycleFailFast(t *testing.T) {
 		if !checkCycle(c) {
 			t.Errorf("cycle %q rejected", c)
 		}
+	}
+}
+
+func TestCheckImplicitSweepFailsFast(t *testing.T) {
+	if checkImplicitSweep("zebra") {
+		t.Error("unknown sweep accepted")
+	}
+	for _, s := range []string{"", "jline", "adi"} {
+		if !checkImplicitSweep(s) {
+			t.Errorf("sweep %q rejected", s)
+		}
+	}
+	if code := runCmd([]string{"testdata/smoke.json", "-implicitsweep", "zebra"}); code != 2 {
+		t.Errorf("bad sweep exit code %d, want 2", code)
+	}
+}
+
+// The baseline diff must fail in both directions: a result with no baseline
+// entry (a rename would silently drop its gate) and a baseline entry that no
+// longer runs.
+func TestDiffBaselineBothDirections(t *testing.T) {
+	write := func(results []BenchResult) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "base.json")
+		data, err := json.Marshal(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := BenchResult{Name: "StepA", NsPerOp: 100, N: 1}
+	b := BenchResult{Name: "StepB", NsPerOp: 100, N: 1}
+	if !diffBaseline([]BenchResult{a, b}, write([]BenchResult{a, b}), 0.3) {
+		t.Error("matching result sets failed the diff")
+	}
+	if diffBaseline([]BenchResult{a, b}, write([]BenchResult{a}), 0.3) {
+		t.Error("result with no baseline entry passed the diff")
+	}
+	if diffBaseline([]BenchResult{a}, write([]BenchResult{a, b}), 0.3) {
+		t.Error("baseline entry that no longer runs passed the diff")
+	}
+	renamed := b
+	renamed.Name = "StepBRenamed"
+	if diffBaseline([]BenchResult{a, renamed}, write([]BenchResult{a, b}), 0.3) {
+		t.Error("renamed benchmark passed the diff")
 	}
 }
 

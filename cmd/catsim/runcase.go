@@ -22,6 +22,7 @@ func runCmd(args []string) int {
 	progress := fs.Bool("progress", false, "print a live solver progress/residual ticker")
 	fluxName := fs.String("flux", "", "override the case's flux kernel (see 'catsim kernels')")
 	timestep := fs.String("timestep", "", "override the case's time integrator (explicit, implicit)")
+	sweep := fs.String("implicitsweep", "", "override the case's implicit sweep pattern (jline, adi)")
 	limiter := fs.String("limiter", "", "override the case's MUSCL slope limiter (minmod, vanalbada)")
 	freezeLim := fs.Float64("freezelimiter", 0, "freeze the MUSCL limiter once the residual has dropped by this factor (0 = case/off)")
 	levels := fs.Int("levels", 0, "override the case's multilevel grid-level count (2 = two-level, 3+ = deeper)")
@@ -50,7 +51,7 @@ func runCmd(args []string) int {
 			return 2
 		}
 	}
-	if !checkFlux(*fluxName) || !checkTimeStepping(*timestep) || !checkLimiter(*limiter) || !checkCycle(*cycle) {
+	if !checkFlux(*fluxName) || !checkTimeStepping(*timestep) || !checkImplicitSweep(*sweep) || !checkLimiter(*limiter) || !checkCycle(*cycle) {
 		return 2
 	}
 	if *levels < 0 || *refitEvery < 0 {
@@ -73,6 +74,9 @@ func runCmd(args []string) int {
 	if *timestep != "" {
 		p.TimeStepping = *timestep
 	}
+	if *sweep != "" {
+		p.ImplicitSweep = *sweep
+	}
 	if *limiter != "" {
 		p.Limiter = *limiter
 	}
@@ -88,9 +92,9 @@ func runCmd(args []string) int {
 	if *refitEvery != 0 {
 		p.RefitEvery = *refitEvery
 	}
-	// The case file's own flux, integrator, limiter and cycle fields fail
-	// fast too — before the session builds models or any solve starts.
-	if !checkFlux(p.Flux) || !checkTimeStepping(p.TimeStepping) || !checkLimiter(p.Limiter) || !checkCycle(p.Cycle) {
+	// The case file's own flux, integrator, sweep, limiter and cycle fields
+	// fail fast too — before the session builds models or any solve starts.
+	if !checkFlux(p.Flux) || !checkTimeStepping(p.TimeStepping) || !checkImplicitSweep(p.ImplicitSweep) || !checkLimiter(p.Limiter) || !checkCycle(p.Cycle) {
 		return 2
 	}
 

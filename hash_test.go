@@ -17,7 +17,9 @@ import (
 var goldenKeys = map[string]string{
 	"examples/casefile/case.json":    "c7c9f726be871ea5b4be1dc2bd6f49a30e9704f03a7c05020824b6285a964123",
 	"cmd/catsim/testdata/smoke.json": "1cc9b7529db52a2941bad6511fc12dbd84921717577c73d19063dedb4466e5b9",
-	"cmd/catsim/testdata/bench.json": "fc47d4c2b05406b96d51df5605c2629b37c54828ac035f0a7f65980b10eb05ff",
+	// bench.json re-keyed in 0.9.0: an implicit-stepping case now spells out
+	// its default implicit_sweep in the canonical form.
+	"cmd/catsim/testdata/bench.json": "d7068fb140c7d5242871661f852bf46c03a3b1f53fc4bbf7c8b38a93a827b537",
 }
 
 func TestCaseKeyGolden(t *testing.T) {
@@ -172,6 +174,24 @@ func TestCaseKeyCycleDefault(t *testing.T) {
 	p.Cycle = fvm.DefaultCycle
 	if keyOf(t, p) != implicitCycle {
 		t.Fatal("default cycle spelled out changed the key of a multilevel case")
+	}
+}
+
+// TestCaseKeyImplicitSweepDefault: the sweep pattern participates in the key
+// only when the implicit integrator would consult it.
+func TestCaseKeyImplicitSweepDefault(t *testing.T) {
+	p := hashProblem()
+	p.Class = NS
+	p.NI, p.NJ, p.MaxSteps = 8, 14, 120
+	p.TimeStepping = fvm.TimeSteppingImplicit
+	implied := keyOf(t, p)
+	p.ImplicitSweep = fvm.DefaultImplicitSweep
+	if keyOf(t, p) != implied {
+		t.Fatal("default sweep spelled out changed the key of an implicit case")
+	}
+	p.ImplicitSweep = fvm.ImplicitSweepADI
+	if keyOf(t, p) == implied {
+		t.Fatal("adi sweep did not change the content key")
 	}
 }
 

@@ -58,6 +58,12 @@ func Canonical(p Problem) (CaseSpec, error) {
 	if np.Limiter == "" {
 		np.Limiter = fvm.DefaultLimiter
 	}
+	// The sweep pattern matters only when the implicit integrator would
+	// consult it; an explicit solve keeps the empty sweep rather than
+	// spelling a knob it never reads.
+	if np.ImplicitSweep == "" && np.TimeStepping == fvm.TimeSteppingImplicit {
+		np.ImplicitSweep = fvm.DefaultImplicitSweep
+	}
 	// The cycle matters only when a multilevel solve would consult it: a
 	// requested level hierarchy with no schedule runs the default cycle, so
 	// spell it out. A plain single-level solve keeps the empty cycle rather

@@ -43,6 +43,9 @@ type CaseSpec struct {
 	// TimeStepping is the finite-volume time integrator name ("explicit",
 	// "implicit"); empty defers to the session or solver default.
 	TimeStepping string `json:"time_stepping,omitempty"`
+	// ImplicitSweep is the implicit sweep-pattern name ("jline", "adi");
+	// empty defers to the session or solver default.
+	ImplicitSweep string `json:"implicit_sweep,omitempty"`
 	// CFLRamp tunes the implicit integrator's CFL schedule; omitted fields
 	// take the solver defaults.
 	CFLRamp *CFLRampSpec `json:"cfl_ramp,omitempty"`
@@ -223,6 +226,7 @@ func SpecOf(p Problem) (CaseSpec, error) {
 		NStations: p.NStations, NI: p.NI, NJ: p.NJ, MaxSteps: p.MaxSteps,
 		Flux:            p.Flux,
 		TimeStepping:    p.TimeStepping,
+		ImplicitSweep:   p.ImplicitSweep,
 		CFLRamp:         ramp,
 		Limiter:         p.Limiter,
 		FreezeLimiterAt: p.FreezeLimiterAt,
@@ -273,6 +277,7 @@ func (c CaseSpec) Problem() (Problem, error) {
 		NStations: c.NStations, NI: c.NI, NJ: c.NJ, MaxSteps: c.MaxSteps,
 		Flux:            c.Flux,
 		TimeStepping:    c.TimeStepping,
+		ImplicitSweep:   c.ImplicitSweep,
 		Limiter:         c.Limiter,
 		FreezeLimiterAt: c.FreezeLimiterAt,
 		GridSequencing:  seq,

@@ -165,6 +165,13 @@ type Problem struct {
 	// clustered viscous grids in several-fold fewer steps.
 	TimeStepping string
 
+	// ImplicitSweep selects the implicit line-relaxation sweep pattern for
+	// the NS and Euler shock-shape classes ("jline" = wall-normal lines only,
+	// "adi" = alternating wall-normal and streamwise passes; empty = session
+	// or solver default — see the fvm.ImplicitSweeps list). Ignored by the
+	// explicit integrator.
+	ImplicitSweep string
+
 	// CFLRamp tunes the implicit integrator's CFL schedule; zero-valued
 	// fields take the fvm.DefaultCFLRamp defaults. Ignored by the explicit
 	// integrator.

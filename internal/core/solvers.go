@@ -290,7 +290,8 @@ func (nsSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment, 
 		VInf: p.VInf, PInf: p.PInf, TInf: p.TInf,
 		TWall: p.TWall, MaxSteps: p.MaxSteps,
 		Mu: p.Mu, K: p.K,
-		Flux: p.Flux, TimeStepping: p.TimeStepping, CFLRamp: p.CFLRamp,
+		Flux: p.Flux, TimeStepping: p.TimeStepping, ImplicitSweep: p.ImplicitSweep,
+		CFLRamp: p.CFLRamp,
 		Limiter: p.Limiter, FreezeLimiterAt: p.FreezeLimiterAt,
 		Sequence: sequenceFor(p),
 		Pool:     st.Pool(), Progress: fvmProgress(p, "ns"),
@@ -336,7 +337,8 @@ func ShockShapeWith(ctx context.Context, st *Stack, p Problem) (*ShockEnvelope, 
 		VInf: p.VInf, PInf: p.PInf, TInf: p.TInf,
 		MaxSteps: p.MaxSteps,
 		Standoff: p.Standoff,
-		Flux:     p.Flux, TimeStepping: p.TimeStepping, CFLRamp: p.CFLRamp,
+		Flux:     p.Flux, TimeStepping: p.TimeStepping, ImplicitSweep: p.ImplicitSweep,
+		CFLRamp: p.CFLRamp,
 		Limiter: p.Limiter, FreezeLimiterAt: p.FreezeLimiterAt,
 		Sequence: sequenceFor(p),
 		Pool:     st.Pool(), Progress: fvmProgress(p, "euler"),

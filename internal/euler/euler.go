@@ -37,6 +37,9 @@ type Case struct {
 	// "implicit"; default fvm.DefaultTimeStepping). Grid-sequenced solves
 	// use the same integrator on both levels.
 	TimeStepping string
+	// ImplicitSweep selects the implicit sweep pattern ("jline", "adi";
+	// default fvm.DefaultImplicitSweep). Ignored by the explicit integrator.
+	ImplicitSweep string
 	// CFLRamp tunes the implicit integrator's CFL schedule (zero value =
 	// fvm.DefaultCFLRamp).
 	CFLRamp fvm.CFLRamp
@@ -102,17 +105,18 @@ func Solve(ctx context.Context, c Case) (*Result, error) {
 	}
 	g.Axisymmetric = c.Axisym
 	o := fvm.Options{
-		Gas:          c.Gas,
-		FreestreamV:  [2]float64{c.VInf, 0},
-		FreestreamPT: [2]float64{c.PInf, c.TInf},
-		CFL:          c.CFL,
-		MUSCL:        true,
-		Flux:         c.Flux,
-		TimeStepping: c.TimeStepping,
-		CFLRamp:      c.CFLRamp,
-		Limiter:      c.Limiter,
-		Pool:         c.Pool,
-		Progress:     c.Progress,
+		Gas:           c.Gas,
+		FreestreamV:   [2]float64{c.VInf, 0},
+		FreestreamPT:  [2]float64{c.PInf, c.TInf},
+		CFL:           c.CFL,
+		MUSCL:         true,
+		Flux:          c.Flux,
+		TimeStepping:  c.TimeStepping,
+		CFLRamp:       c.CFLRamp,
+		ImplicitSweep: c.ImplicitSweep,
+		Limiter:       c.Limiter,
+		Pool:          c.Pool,
+		Progress:      c.Progress,
 
 		FreezeLimiterAt: c.FreezeLimiterAt,
 	}

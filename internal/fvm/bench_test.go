@@ -95,6 +95,28 @@ func BenchmarkStepImplicit(b *testing.B) {
 	}
 }
 
+// BenchmarkStepImplicitADI measures one alternating-direction implicit step:
+// the j-line pass of BenchmarkStepImplicit plus a residual refresh and the
+// streamwise i-line block-tridiagonal pass.
+func BenchmarkStepImplicitADI(b *testing.B) {
+	g, o, err := ReferenceViscousCase(20, 32, TimeSteppingImplicit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.ImplicitSweep = ImplicitSweepADI
+	s, err := New(g, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := s.Step(); math.IsNaN(r) {
+			b.Fatal("NaN residual")
+		}
+	}
+}
+
 // benchSolveViscous converges the reference viscous (Fig. 9 class) case at
 // the given grid size: same gas and tolerance across integrators and
 // schedules, so the benchmarks compare only the marching strategy. A non-nil
@@ -165,6 +187,34 @@ func BenchmarkSolveMultigrid(b *testing.B) {
 		b.Run(fmt.Sprintf("%dx%d", sz[0], sz[1]), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				benchSolveViscous(b, sz[0], sz[1], "implicit", &SequenceOptions{Levels: 3})
+			}
+		})
+	}
+}
+
+// BenchmarkSolveSlender runs the high-aspect-ratio slender case under both
+// implicit sweep schedules. The steps/op metric is the headline: wall-normal
+// lines alone stall against the streamwise coupling and ride the step cap,
+// while the alternating-direction schedule converges outright.
+func BenchmarkSolveSlender(b *testing.B) {
+	for _, sweep := range []string{ImplicitSweepJLine, ImplicitSweepADI} {
+		b.Run(sweep, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, o, err := ReferenceSlenderCase(64, 12, sweep)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps := 0
+				o.Progress = func(phase string, step, maxSteps int, residual float64) { steps++ }
+				s, err := New(g, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(2000, 5e-4); err != nil {
+					b.Fatal(err)
+				}
+				s.Close()
+				b.ReportMetric(float64(steps), "steps/op")
 			}
 		})
 	}

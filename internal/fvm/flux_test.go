@@ -79,7 +79,7 @@ func TestFluxKernelsSymmetry(t *testing.T) {
 }
 
 func TestFluxKernelRegistry(t *testing.T) {
-	for _, want := range []string{"hlle", "hlle-ef", "hllc", "ausm+"} {
+	for _, want := range []string{"hlle", "hlle-ef", "hllc", "ausm+", "ausm+up"} {
 		if _, err := FluxKernelFor(want); err != nil {
 			t.Errorf("kernel %q missing: %v", want, err)
 		}

@@ -71,6 +71,15 @@ type Options struct {
 	// fields take the DefaultCFLRamp defaults. The explicit integrator
 	// ignores it and uses CFL directly.
 	CFLRamp CFLRamp
+	// ImplicitSweep selects the implicit integrator's line-sweep schedule by
+	// name (see ImplicitSweeps): "jline" (wall-normal lines only, the
+	// default) or "adi" (alternating-direction: each step runs the
+	// wall-normal pass and then a streamwise i-line pass on a fresh
+	// residual, so corrections propagate along the body in one step instead
+	// of one cell per step — the schedule for high-aspect-ratio grids whose
+	// streamwise cell count, not wall-normal stiffness, limits convergence).
+	// The explicit integrator ignores it.
+	ImplicitSweep string
 	// FreezeLimiterAt, when positive, freezes the MUSCL limiter once the
 	// RMS density residual has dropped below FreezeLimiterAt times its
 	// initial value (so it must be in (0, 1); 0 disables freezing): the

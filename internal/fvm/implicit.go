@@ -1,6 +1,7 @@
 package fvm
 
 import (
+	"fmt"
 	"math"
 
 	"cataero/internal/numerics"
@@ -45,7 +46,15 @@ func (r CFLRamp) withDefaults() CFLRamp {
 	return r
 }
 
-// --- implicit: DPLR-style line-implicit relaxation along wall-normal lines ---
+// DefaultImplicitSweep is the sweep schedule used when Options.ImplicitSweep
+// is empty.
+const DefaultImplicitSweep = ImplicitSweepJLine
+
+// ImplicitSweeps returns the registered implicit sweep schedules in
+// ascending order — the valid values of Options.ImplicitSweep.
+func ImplicitSweeps() []string { return []string{ImplicitSweepADI, ImplicitSweepJLine} }
+
+// --- implicit: DPLR-style line-implicit relaxation ---
 //
 // The explicit scheme is CFL-bound by the finest wall-normal spacing, which
 // on clustered viscous grids means thousands of steps per solve. The
@@ -58,6 +67,21 @@ func (r CFLRamp) withDefaults() CFLRamp {
 // (point-implicit, unconditionally stable in the scalar model). The RHS is
 // the full (optionally MUSCL) residual, so the converged state is identical
 // to the explicit scheme's.
+//
+// Under the "adi" sweep schedule each step follows the wall-normal pass
+// with a streamwise pass: the same block-tridiagonal relaxation along
+// i-lines (constant j), with the i-face fluxes linearized and the j-faces
+// folded point-implicit. The wall-normal pass alone propagates corrections
+// one cell per step along the body, so high-aspect-ratio grids (long
+// slender afterbodies) converge at a rate set by the streamwise cell count;
+// the alternating sweep carries them the length of the line in one solve.
+//
+// Both passes assemble their systems the SoA way the residual sweeps do:
+// the line's cell states are gathered once into a structure-of-arrays
+// pencil, a batched Jacobian fill (jacPlanes) writes each cell's two
+// face-normal Jacobian blocks in a straight-line loop, and the
+// block-tridiagonal solver equilibrates and factors the plane in a single
+// fused traversal (numerics.SolveFlatScaled).
 
 type implicitIntegrator struct{}
 
@@ -67,7 +91,13 @@ func (implicitIntegrator) NewStepper(s *Solver) (Stepper, error) {
 	st := &implicitStepper{
 		s:    s,
 		ramp: s.Opts.CFLRamp.withDefaults(),
-		ws:   make([]*implicitLineWS, s.pool.chunkCount(s.ni)),
+	}
+	switch s.Opts.ImplicitSweep {
+	case "", ImplicitSweepJLine:
+	case ImplicitSweepADI:
+		st.adi = true
+	default:
+		return nil, fmt.Errorf("fvm: no implicit sweep %q (have %v)", s.Opts.ImplicitSweep, ImplicitSweeps())
 	}
 	st.cfl = st.ramp.Start
 	vs := s.pInf.A + math.Hypot(s.pInf.U, s.pInf.V)
@@ -77,39 +107,76 @@ func (implicitIntegrator) NewStepper(s *Solver) (Stepper, error) {
 			st.rat[r*4+c] = st.scl[c] / st.scl[r]
 		}
 	}
-	nj := s.nj
-	for i := range st.ws {
-		st.ws[i] = &implicitLineWS{
-			A:  make([]float64, nj*16),
-			B:  make([]float64, nj*16),
-			C:  make([]float64, nj*16),
-			D:  make([]float64, nj*4),
-			bt: numerics.NewBlockTridiagWorkspace(4),
+	// Workspace sizing: the wall-normal pass runs lines of nj cells in
+	// chunkCount(ni) chunks; the streamwise pass (adi) runs lines of ni
+	// cells in chunkCount(nj) chunks. One workspace pool serves both.
+	maxLine := s.nj
+	nws := s.pool.chunkCount(s.ni)
+	if st.adi {
+		if s.ni > maxLine {
+			maxLine = s.ni
+		}
+		if c := s.pool.chunkCount(s.nj); c > nws {
+			nws = c
 		}
 	}
-	st.sweep = st.lineRange
+	st.ws = make([]*implicitLineWS, nws)
+	for i := range st.ws {
+		st.ws[i] = &implicitLineWS{
+			A:    make([]float64, maxLine*16),
+			B:    make([]float64, maxLine*16),
+			C:    make([]float64, maxLine*16),
+			D:    make([]float64, maxLine*4),
+			u:    make([]float64, maxLine),
+			v:    make([]float64, maxLine),
+			a:    make([]float64, maxLine),
+			g1:   make([]float64, maxLine),
+			h:    make([]float64, maxLine),
+			nrm:  make([]float64, 3*(maxLine+1)),
+			lam:  make([]float64, maxLine+1),
+			visc: make([]float64, maxLine+1),
+			jlo:  make([]float64, maxLine*16),
+			jhi:  make([]float64, maxLine*16),
+			bt:   numerics.NewBlockTridiagWorkspace(4),
+		}
+	}
+	st.sweepJ = st.lineRangeJ
+	st.sweepI = st.lineRangeI
 	return st, nil
 }
 
-// implicitLineWS is the per-worker-chunk workspace of the line sweep: one
-// block-tridiagonal system (reused by every line the chunk owns), the
-// factorization scratch, Jacobian temporaries and the chunk's partial
-// results. Allocated once per solver so stepping is allocation-free.
+// implicitLineWS is the per-worker-chunk workspace of the line sweeps: one
+// block-tridiagonal system (reused by every line the chunk owns), the SoA
+// pencil of the line's cell states, the batched Jacobian planes, the
+// factorization scratch and the chunk's partial results. Allocated once per
+// solver so stepping is allocation-free; sized for the longer of the two
+// sweep directions so both passes share it.
 type implicitLineWS struct {
-	A, B, C []float64 // nj 4×4 blocks, flat row-major
-	D       []float64 // nj right-hand 4-vectors / solution
-	jm, jp  [16]float64
-	bt      *numerics.BlockTridiagWorkspace
-	sum     float64 // chunk's share of the squared density residual
-	fell    int     // lines that fell back to the explicit stage this step
+	A, B, C []float64 // line 4×4 blocks, flat row-major
+	D       []float64 // right-hand 4-vectors / solution
+	// SoA pencil of the line's cells: velocity, sound speed, clamped
+	// effective gamma minus one, and total enthalpy — everything the
+	// batched Jacobian fill reads, gathered once per line.
+	u, v, a, g1, h []float64
+	nrm            []float64 // (nx, ny, area) per face, gathered for strided sweeps
+	lam            []float64 // per-face spectral-radius dissipation bound
+	visc           []float64 // per-face viscous identity-coupling coefficient
+	jlo, jhi       []float64 // per-cell Jacobian blocks at the cell's lo/hi face
+	jm, jp         [16]float64
+	bt             *numerics.BlockTridiagWorkspace
+	sum            float64 // chunk's share of the squared density residual
+	fell           int     // lines that fell back to the explicit stage this step
 }
 
 type implicitStepper struct {
-	s     *Solver
-	ramp  CFLRamp
-	cfl   float64
-	ws    []*implicitLineWS
-	sweep func(ci, lo, hi int)
+	s    *Solver
+	ramp CFLRamp
+	cfl  float64
+	// adi enables the streamwise (i-line) pass after each wall-normal pass
+	// (Options.ImplicitSweep "adi").
+	adi            bool
+	ws             []*implicitLineWS
+	sweepJ, sweepI func(ci, lo, hi int)
 	// scl/rat equilibrate the line systems before factorization: conserved
 	// variables mix mass, momentum and energy scales spanning many orders of
 	// magnitude, and the block elimination loses the solution to
@@ -170,8 +237,11 @@ func (st *implicitStepper) resetRamp() {
 // Step advances one line-implicit time step: full residual evaluation at the
 // ramped CFL, one block-tridiagonal solve per wall-normal line (parallel
 // across lines on the worker pool), an explicit fallback on any line whose
-// update leaves the physical state space, and a CFL ramp update. Returns the
-// RMS density residual of the evaluated RHS.
+// update leaves the physical state space, and a CFL ramp update. Under the
+// "adi" schedule the wall-normal pass is followed by a streamwise pass on a
+// freshly evaluated residual. Returns the RMS density residual of the
+// step-entry RHS (the wall-normal pass's), so the two schedules report the
+// same convergence measure.
 //
 //cataero:hotpath
 func (st *implicitStepper) Step() float64 {
@@ -180,12 +250,24 @@ func (st *implicitStepper) Step() float64 {
 	s.updatePrimitives()
 	s.timeSteps()
 	s.computeResidual()
-	s.pool.sweep(s.ni, &s.sweepWG, st.sweep)
+	s.pool.sweep(s.ni, &s.sweepWG, st.sweepJ)
 	sum := 0.0
 	fell := 0
-	for _, w := range st.ws {
+	for _, w := range st.ws[:s.pool.chunkCount(s.ni)] {
 		sum += w.sum
 		fell += w.fell
+	}
+	if st.adi {
+		// Streamwise pass: the wall-normal updates are already applied, so
+		// refresh the primitives and residual before sweeping the i-lines.
+		// The local time steps are reused — dt is a relaxation parameter
+		// and the state moved by one under-resolved transient increment.
+		s.updatePrimitives()
+		s.computeResidual()
+		s.pool.sweep(s.nj, &s.sweepWG, st.sweepI)
+		for _, w := range st.ws[:s.pool.chunkCount(s.nj)] {
+			fell += w.fell
+		}
 	}
 	st.fallbacks += fell
 	r := math.Sqrt(sum / float64(s.ni*s.nj))
@@ -221,15 +303,27 @@ func (st *implicitStepper) Step() float64 {
 	return r
 }
 
-// lineRange assembles and solves the wall-normal systems for i-lines
+// lineRangeJ assembles and solves the wall-normal systems for i-lines
 // [lo, hi) — one sweep chunk, using that chunk's private workspace.
 //
 //cataero:hotpath
-func (st *implicitStepper) lineRange(ci, lo, hi int) {
+func (st *implicitStepper) lineRangeJ(ci, lo, hi int) {
 	w := st.ws[ci]
 	w.sum, w.fell = 0, 0
 	for i := lo; i < hi; i++ {
-		st.solveLine(i, w)
+		st.solveLineJ(i, w)
+	}
+}
+
+// lineRangeI assembles and solves the streamwise systems for j-lines
+// [lo, hi) — the adi pass's sweep chunk.
+//
+//cataero:hotpath
+func (st *implicitStepper) lineRangeI(ci, lo, hi int) {
+	w := st.ws[ci]
+	w.sum, w.fell = 0, 0
+	for j := lo; j < hi; j++ {
+		st.solveLineI(j, w)
 	}
 }
 
@@ -290,178 +384,389 @@ func jacN(dst []float64, q Prim, nx, ny, scale float64) {
 	dst[15] = scale * (g * un)
 }
 
-// solveLine assembles and solves the block-tridiagonal system of i-line i
-// and applies the update, falling back to a one-stage explicit update at
-// the explicit CFL when the line solve diverges (singular system, or an
-// update that leaves the physical state space).
-func (st *implicitStepper) solveLine(i int, w *implicitLineWS) {
+// jacPlanes is the batched Jacobian fill of the line assembly: for every
+// cell c of the pencil it writes the area-scaled inviscid flux Jacobian at
+// the cell's low face (normal nrm[3c..]) into jlo and at its high face
+// (normal nrm[3(c+1)..]) into jhi, in one straight-line loop over the SoA
+// slices. The per-cell invariants (velocity, clamped g−1, total enthalpy)
+// are loaded once and shared by both blocks, and the arithmetic matches
+// jacN entry for entry — the finite-difference Jacobian tests pin both.
+//
+//cataero:hotpath
+func jacPlanes(jlo, jhi, u, v, g1, h, nrm []float64, n int) {
+	for c := 0; c < n; c++ {
+		uu, vv := u[c], v[c]
+		g1c, H := g1[c], h[c]
+		q2 := uu*uu + vv*vv
+		phi := 0.5 * g1c * q2
+		g2 := 1 - g1c // == 2 − g
+		g := g1c + 1
+
+		nx, ny, scale := nrm[3*c], nrm[3*c+1], nrm[3*c+2]
+		un := uu*nx + vv*ny
+		lo := jlo[c*16 : c*16+16 : c*16+16]
+		lo[0], lo[1], lo[2], lo[3] = 0, scale*nx, scale*ny, 0
+		lo[4] = scale * (phi*nx - uu*un)
+		lo[5] = scale * (un + g2*uu*nx)
+		lo[6] = scale * (uu*ny - g1c*vv*nx)
+		lo[7] = scale * (g1c * nx)
+		lo[8] = scale * (phi*ny - vv*un)
+		lo[9] = scale * (vv*nx - g1c*uu*ny)
+		lo[10] = scale * (un + g2*vv*ny)
+		lo[11] = scale * (g1c * ny)
+		lo[12] = scale * ((phi - H) * un)
+		lo[13] = scale * (H*nx - g1c*uu*un)
+		lo[14] = scale * (H*ny - g1c*vv*un)
+		lo[15] = scale * (g * un)
+
+		nx, ny, scale = nrm[3*c+3], nrm[3*c+4], nrm[3*c+5]
+		un = uu*nx + vv*ny
+		hi := jhi[c*16 : c*16+16 : c*16+16]
+		hi[0], hi[1], hi[2], hi[3] = 0, scale*nx, scale*ny, 0
+		hi[4] = scale * (phi*nx - uu*un)
+		hi[5] = scale * (un + g2*uu*nx)
+		hi[6] = scale * (uu*ny - g1c*vv*nx)
+		hi[7] = scale * (g1c * nx)
+		hi[8] = scale * (phi*ny - vv*un)
+		hi[9] = scale * (vv*nx - g1c*uu*ny)
+		hi[10] = scale * (un + g2*vv*ny)
+		hi[11] = scale * (g1c * ny)
+		hi[12] = scale * ((phi - H) * un)
+		hi[13] = scale * (H*nx - g1c*uu*un)
+		hi[14] = scale * (H*ny - g1c*vv*un)
+		hi[15] = scale * (g * un)
+	}
+}
+
+// interiorFaces folds the interior-face linearizations of a line of n cells
+// into the assembled system from the precomputed Jacobian planes and
+// per-face dissipation/viscous coefficients: face f couples cells f−1 and f
+// with ∂F/∂U_m ≈ ½(S·A(m) + λI) and ∂F/∂U_p ≈ ½(S·A(p) − λI), plus the
+// identity viscous coupling. The off-diagonal blocks A[f] and C[f−1] are
+// each written by exactly one face, so they are assigned (no zeroing
+// pre-pass); the diagonal blocks accumulate onto the V/Δt + point-implicit
+// fold the gather pass left there.
+//
+//cataero:hotpath
+func (st *implicitStepper) interiorFaces(w *implicitLineWS, n int) {
+	for f := 1; f < n; f++ {
+		jm := w.jhi[(f-1)*16 : (f-1)*16+16 : (f-1)*16+16]
+		jp := w.jlo[f*16 : f*16+16 : f*16+16]
+		Bm := w.B[(f-1)*16 : f*16]
+		Cm := w.C[(f-1)*16 : f*16]
+		Af := w.A[f*16 : (f+1)*16]
+		Bf := w.B[f*16 : (f+1)*16]
+		for k := 0; k < 16; k++ {
+			hm := 0.5 * jm[k]
+			hp := 0.5 * jp[k]
+			Bm[k] += hm
+			Cm[k] = hp
+			Af[k] = -hm
+			Bf[k] -= hp
+		}
+		d := 0.5*w.lam[f] + w.visc[f]
+		Bm[0] += d
+		Bm[5] += d
+		Bm[10] += d
+		Bm[15] += d
+		Cm[0] -= d
+		Cm[5] -= d
+		Cm[10] -= d
+		Cm[15] -= d
+		Af[0] -= d
+		Af[5] -= d
+		Af[10] -= d
+		Af[15] -= d
+		Bf[0] += d
+		Bf[5] += d
+		Bf[10] += d
+		Bf[15] += d
+	}
+}
+
+// gatherCell stores cell state q into pencil slot c: velocity, sound speed,
+// the clamped effective gamma minus one, and total enthalpy.
+//
+//cataero:hotpath
+func (w *implicitLineWS) gatherCell(c int, q Prim) {
+	g := q.A * q.A * q.Rho / q.P
+	if g < 1.05 {
+		g = 1.05
+	} else if g > 1.8 {
+		g = 1.8
+	}
+	w.u[c], w.v[c], w.a[c] = q.U, q.V, q.A
+	w.g1[c] = g - 1
+	w.h[c] = q.E + q.P/q.Rho + 0.5*(q.U*q.U+q.V*q.V)
+}
+
+// faceLams fills the interior-face dissipation bounds of a line of n cells
+// from the pencil states and face normals: λ_f = max of the two straddling
+// cells' |u·n| + a, times the face area.
+//
+//cataero:hotpath
+func (w *implicitLineWS) faceLams(nrm []float64, n int) {
+	for f := 1; f < n; f++ {
+		nx, ny, area := nrm[3*f], nrm[3*f+1], nrm[3*f+2]
+		lm := math.Abs(w.u[f-1]*nx+w.v[f-1]*ny) + w.a[f-1]
+		lp := math.Abs(w.u[f]*nx+w.v[f]*ny) + w.a[f]
+		w.lam[f] = math.Max(lm, lp) * area
+	}
+}
+
+// solveLineJ assembles and solves the block-tridiagonal system of
+// wall-normal line i and applies the update, falling back to a one-stage
+// explicit update at the explicit CFL when the line solve diverges
+// (singular system, or an update that leaves the physical state space). It
+// also accumulates the chunk's share of the step-entry density residual.
+//
+//cataero:hotpath
+func (st *implicitStepper) solveLineJ(i int, w *implicitLineWS) {
 	s := st.s
 	nj := s.nj
+	st.assembleLineJ(i, w)
+	st.solveApply(i*nj, 1, nj, w)
 	met := s.met
-	st.assembleLine(i, w)
-	st.equilibrate(w)
-	ok := w.bt.SolveFlat(w.A, w.B, w.C, w.D, nj) == nil
-	if ok {
-		for j := 0; j < nj; j++ {
-			for c := 0; c < 4; c++ {
-				w.D[j*4+c] *= st.scl[c]
-			}
-		}
-		ok = st.lineUpdateValid(i, w)
-	}
-	if ok {
-		for j := 0; j < nj; j++ {
-			k := s.idx(i, j)
-			for c := 0; c < 4; c++ {
-				s.U[k][c] += w.D[j*4+c]
-			}
-		}
-	} else {
-		st.fallbackLine(i)
-		w.fell++
-	}
 	for j := 0; j < nj; j++ {
-		k := s.idx(i, j)
+		k := i*nj + j
 		r := s.res[k][0] / met.Vol[k]
 		w.sum += r * r
 	}
 }
 
-// assembleLine fills the workspace with i-line i's block-tridiagonal system
-// (V/Δt I + ∂res/∂U)ΔU = −res, with the j-direction linearized to first
-// order and the i-direction folded into the diagonal by spectral radius.
-func (st *implicitStepper) assembleLine(i int, w *implicitLineWS) {
+// solveLineI assembles and solves the block-tridiagonal system of
+// streamwise line j (the adi pass) and applies the update, with the same
+// explicit fallback as the wall-normal pass.
+//
+//cataero:hotpath
+func (st *implicitStepper) solveLineI(j int, w *implicitLineWS) {
+	s := st.s
+	st.assembleLineI(j, w)
+	st.solveApply(j, s.nj, s.ni, w)
+}
+
+// solveApply factors the assembled line system through the fused
+// equilibrate+factor path, validates the solved increments and applies them
+// to the n cells at base, base+stride, ... — or falls back to the explicit
+// stage when the solve diverges.
+//
+//cataero:hotpath
+func (st *implicitStepper) solveApply(base, stride, n int, w *implicitLineWS) {
+	s := st.s
+	ok := w.bt.SolveFlatScaled(w.A, w.B, w.C, w.D, n, st.rat[:], st.scl[:]) == nil
+	if ok {
+		for c := 0; c < n; c++ {
+			for r := 0; r < 4; r++ {
+				w.D[c*4+r] *= st.scl[r]
+			}
+		}
+		ok = st.lineUpdateValid(base, stride, n, w)
+	}
+	if ok {
+		for c := 0; c < n; c++ {
+			k := base + c*stride
+			for r := 0; r < 4; r++ {
+				s.U[k][r] += w.D[c*4+r]
+			}
+		}
+	} else {
+		st.fallbackLine(base, stride, n)
+		w.fell++
+	}
+}
+
+// assembleLineJ fills the workspace with wall-normal line i's
+// block-tridiagonal system (V/Δt I + ∂res/∂U)ΔU = −res: the line's cells
+// are gathered into the SoA pencil, the j-face Jacobian planes are filled
+// batched, the i-direction is folded into the diagonal by spectral radius,
+// and the wall/outer boundary linearizations close the line.
+//
+//cataero:hotpath
+func (st *implicitStepper) assembleLineJ(i int, w *implicitLineWS) {
 	s := st.s
 	nj := s.nj
 	met := s.met
-	for k := range w.A {
-		w.A[k] = 0
-		w.B[k] = 0
-		w.C[k] = 0
-	}
-	// Cell terms: V/Δt on the diagonal, the i-direction (off-line) face
-	// couplings folded in by their spectral radii, and the RHS.
+	base := i * nj
+	// Gather pass: pencil states, diagonal blocks (V/Δt plus the i-face
+	// spectral radii, point-implicit) and the RHS. A and C need no zeroing
+	// — every interior off-diagonal block is assigned exactly once by
+	// interiorFaces and the boundary blocks are ignored by the solver.
 	for j := 0; j < nj; j++ {
-		k := s.idx(i, j)
+		k := base + j
 		q := s.prim[k]
-		Bj := w.B[j*16 : (j+1)*16]
-		addScaledIdent(Bj, met.Vol[k]/s.dt[k])
+		w.gatherCell(j, q)
 		fw := 3 * (i*nj + j)
 		fe := 3 * ((i+1)*nj + j)
 		lamW := (math.Abs(q.U*met.FaceIN[fw]+q.V*met.FaceIN[fw+1]) + q.A) * met.FaceIN[fw+2]
 		lamE := (math.Abs(q.U*met.FaceIN[fe]+q.V*met.FaceIN[fe+1]) + q.A) * met.FaceIN[fe+2]
-		addScaledIdent(Bj, 0.5*(lamW+lamE))
-		for c := 0; c < 4; c++ {
-			w.D[j*4+c] = -s.res[k][c]
+		setDiagBlock(w.B[j*16:j*16+16:j*16+16], met.Vol[k]/s.dt[k]+0.5*(lamW+lamE))
+		r := s.res[k]
+		w.D[j*4], w.D[j*4+1], w.D[j*4+2], w.D[j*4+3] = -r[0], -r[1], -r[2], -r[3]
+	}
+	nrm := met.FaceJN[3*i*(nj+1) : 3*(i+1)*(nj+1)]
+	jacPlanes(w.jlo, w.jhi, w.u, w.v, w.g1, w.h, nrm, nj)
+	w.faceLams(nrm, nj)
+	if s.Opts.Viscous {
+		for f := 1; f < nj; f++ {
+			w.visc[f] = 0
+			if dn := met.JDist[i*(nj+1)+f]; dn > 0 && nrm[3*f+2] > 0 {
+				m, p := s.prim[base+f-1], s.prim[base+f]
+				w.visc[f] = s.Opts.Mu(0.5*(m.T+p.T)) * nrm[3*f+2] / (dn * 0.5 * (m.Rho + p.Rho))
+			}
+		}
+	} else {
+		for f := 1; f < nj; f++ {
+			w.visc[f] = 0
 		}
 	}
-	// J-direction faces: first-order Jacobian + spectral-radius dissipation
-	// for the interior, spectral-radius (plus wall conduction) diagonal
-	// augmentation at the boundaries.
-	for f := 0; f <= nj; f++ {
-		fk := 3 * (i*(nj+1) + f)
-		nx, ny, area := met.FaceJN[fk], met.FaceJN[fk+1], met.FaceJN[fk+2]
-		if area == 0 {
-			continue
+	st.interiorFaces(w, nj)
+	// Wall face f=0: the flux is Flux(mirror(q), q). Linearize both
+	// arguments — the ghost through the reflection matrix — so the
+	// convective Jacobian block cancels against the f=1 face's instead of
+	// leaving a large uncancelled (non-normal) block on the wall row.
+	if nx, ny, area := nrm[0], nrm[1], nrm[2]; area > 0 {
+		q := s.prim[base]
+		lam := (math.Abs(q.U*nx+q.V*ny) + q.A) * area
+		B0 := w.B[0:16]
+		// res[0] -= F_w, so subtract dF_w/dU0 =
+		// ½(S·A(g)+λI)·M + ½(S·A(q)−λI) with g = mirror(q).
+		jacN(w.jm[:], mirror(q, nx, ny), nx, ny, area)
+		mirrorCols(w.jm[:], nx, ny)
+		addScaled(B0, w.jm[:], -0.5)
+		jacN(w.jp[:], q, nx, ny, area)
+		addScaled(B0, w.jp[:], -0.5)
+		// −½λM − (−½λI): M has unit spectral radius, fold both into a
+		// single dissipation bound.
+		addScaledIdent(B0, lam)
+		if s.Opts.Viscous && s.Opts.Wall == NoSlipIsothermal {
+			mu := s.Opts.Mu(0.5 * (q.T + s.Opts.TWall))
+			addScaledIdent(B0, mu*area/(met.WallHalf[i]*q.Rho))
 		}
-		switch {
-		case f == 0:
-			// Wall: the flux is Flux(mirror(q), q). Linearize both arguments
-			// — the ghost through the reflection matrix — so the convective
-			// Jacobian block cancels against the f=1 face's instead of
-			// leaving a large uncancelled (non-normal) block on the wall row.
-			q := s.prim[s.idx(i, 0)]
-			lam := (math.Abs(q.U*nx+q.V*ny) + q.A) * area
-			B0 := w.B[0:16]
-			// res[0] -= F_w, so subtract dF_w/dU0 =
-			// ½(S·A(g)+λI)·M + ½(S·A(q)−λI) with g = mirror(q).
-			jacN(w.jm[:], mirror(q, nx, ny), nx, ny, area)
-			mirrorCols(w.jm[:], nx, ny)
-			addScaled(B0, w.jm[:], -0.5)
-			jacN(w.jp[:], q, nx, ny, area)
-			addScaled(B0, w.jp[:], -0.5)
-			// −½λM − (−½λI): M has unit spectral radius, fold both into a
-			// single dissipation bound.
-			addScaledIdent(B0, lam)
-			if s.Opts.Viscous && s.Opts.Wall == NoSlipIsothermal {
-				mu := s.Opts.Mu(0.5 * (q.T + s.Opts.TWall))
-				addScaledIdent(B0, mu*area/(met.WallHalf[i]*q.Rho))
+	}
+	// Outer boundary f=nj: the flux is Flux(q_in, q_inf); the freestream
+	// argument is constant, so only the interior-side upwind Jacobian
+	// ½(S·A+λI) enters — which cancels the f=nj−1 face's −½S·A block on
+	// the outer row.
+	if nx, ny, area := nrm[3*nj], nrm[3*nj+1], nrm[3*nj+2]; area > 0 {
+		q := s.prim[base+nj-1]
+		lam := (math.Abs(q.U*nx+q.V*ny) + q.A) * area
+		Bn := w.B[(nj-1)*16 : nj*16]
+		jacN(w.jm[:], q, nx, ny, area)
+		addScaled(Bn, w.jm[:], 0.5)
+		addScaledIdent(Bn, 0.5*lam)
+	}
+}
+
+// assembleLineI fills the workspace with streamwise line j's
+// block-tridiagonal system: the i-face fluxes are linearized to first order
+// (batched, like the wall-normal pass) and the j-direction — including the
+// wall-normal viscous couplings, the dominant stiffness near the wall — is
+// folded into the diagonal by spectral radius. The boundary linearizations
+// are the streamwise ones: symmetry mirror at i=0 (the stagnation line) and
+// zero-gradient outflow at i=ni, whose exit flux Flux(q, q) has the exact
+// derivative S·A(q).
+//
+//cataero:hotpath
+func (st *implicitStepper) assembleLineI(j int, w *implicitLineWS) {
+	s := st.s
+	ni, nj := s.ni, s.nj
+	met := s.met
+	viscous := s.Opts.Viscous
+	for i := 0; i < ni; i++ {
+		k := i*nj + j
+		q := s.prim[k]
+		w.gatherCell(i, q)
+		// Face normals are strided along an i-line; gather them so the
+		// batched fills below run on contiguous triplets.
+		fw := 3 * (i*nj + j)
+		w.nrm[3*i], w.nrm[3*i+1], w.nrm[3*i+2] = met.FaceIN[fw], met.FaceIN[fw+1], met.FaceIN[fw+2]
+		fs := 3 * (i*(nj+1) + j)
+		fn := fs + 3
+		lamS := (math.Abs(q.U*met.FaceJN[fs]+q.V*met.FaceJN[fs+1]) + q.A) * met.FaceJN[fs+2]
+		lamN := (math.Abs(q.U*met.FaceJN[fn]+q.V*met.FaceJN[fn+1]) + q.A) * met.FaceJN[fn+2]
+		diag := met.Vol[k]/s.dt[k] + 0.5*(lamS+lamN)
+		if viscous {
+			// Fold the wall-normal viscous couplings into the diagonal:
+			// they are what makes near-wall cells stiff, and the j-line
+			// pass carries them implicitly — leaving them out here would
+			// let the streamwise solve overstep the boundary layer.
+			if areaS := met.FaceJN[fs+2]; areaS > 0 {
+				if j == 0 {
+					if s.Opts.Wall == NoSlipIsothermal {
+						diag += s.Opts.Mu(0.5*(q.T+s.Opts.TWall)) * areaS / (met.WallHalf[i] * q.Rho)
+					}
+				} else if dn := met.JDist[i*(nj+1)+j]; dn > 0 {
+					m := s.prim[k-1]
+					diag += s.Opts.Mu(0.5*(m.T+q.T)) * areaS / (dn * 0.5 * (m.Rho + q.Rho))
+				}
 			}
-		case f == nj:
-			// Outer boundary: the flux is Flux(q_in, q_inf); the freestream
-			// argument is constant, so only the interior-side upwind
-			// Jacobian ½(S·A+λI) enters — which cancels the f=nj-1 face's
-			// −½S·A block on the outer row.
-			q := s.prim[s.idx(i, nj-1)]
-			lam := (math.Abs(q.U*nx+q.V*ny) + q.A) * area
-			Bn := w.B[(nj-1)*16 : nj*16]
-			jacN(w.jm[:], q, nx, ny, area)
-			addScaled(Bn, w.jm[:], 0.5)
-			addScaledIdent(Bn, 0.5*lam)
-		default:
-			m := s.prim[s.idx(i, f-1)]
-			p := s.prim[s.idx(i, f)]
-			lamM := math.Abs(m.U*nx+m.V*ny) + m.A
-			lamP := math.Abs(p.U*nx+p.V*ny) + p.A
-			lam := math.Max(lamM, lamP) * area
-			jacN(w.jm[:], m, nx, ny, area)
-			jacN(w.jp[:], p, nx, ny, area)
-			Bm := w.B[(f-1)*16 : f*16]
-			Cm := w.C[(f-1)*16 : f*16]
-			Af := w.A[f*16 : (f+1)*16]
-			Bf := w.B[f*16 : (f+1)*16]
-			// res[f-1] += F, res[f] -= F with
-			// ∂F/∂U_m ≈ ½(S·A(m) + λI), ∂F/∂U_p ≈ ½(S·A(p) − λI).
-			addScaled(Bm, w.jm[:], 0.5)
-			addScaledIdent(Bm, 0.5*lam)
-			addScaled(Cm, w.jp[:], 0.5)
-			addScaledIdent(Cm, -0.5*lam)
-			addScaled(Af, w.jm[:], -0.5)
-			addScaledIdent(Af, -0.5*lam)
-			addScaled(Bf, w.jp[:], -0.5)
-			addScaledIdent(Bf, 0.5*lam)
-			if s.Opts.Viscous {
-				if dn := met.JDist[i*(s.nj+1)+f]; dn > 0 {
-					c := s.Opts.Mu(0.5*(m.T+p.T)) * area / (dn * 0.5 * (m.Rho + p.Rho))
-					addScaledIdent(Bm, c)
-					addScaledIdent(Cm, -c)
-					addScaledIdent(Af, -c)
-					addScaledIdent(Bf, c)
+			if j < nj-1 {
+				if dn, areaN := met.JDist[i*(nj+1)+j+1], met.FaceJN[fn+2]; dn > 0 && areaN > 0 {
+					p := s.prim[k+1]
+					diag += s.Opts.Mu(0.5*(q.T+p.T)) * areaN / (dn * 0.5 * (q.Rho + p.Rho))
 				}
 			}
 		}
+		setDiagBlock(w.B[i*16:i*16+16:i*16+16], diag)
+		r := s.res[k]
+		w.D[i*4], w.D[i*4+1], w.D[i*4+2], w.D[i*4+3] = -r[0], -r[1], -r[2], -r[3]
+	}
+	fe := 3 * (ni*nj + j)
+	w.nrm[3*ni], w.nrm[3*ni+1], w.nrm[3*ni+2] = met.FaceIN[fe], met.FaceIN[fe+1], met.FaceIN[fe+2]
+	jacPlanes(w.jlo, w.jhi, w.u, w.v, w.g1, w.h, w.nrm, ni)
+	w.faceLams(w.nrm, ni)
+	for f := 1; f < ni; f++ {
+		// No streamwise viscous coupling in the thin-layer model.
+		w.visc[f] = 0
+	}
+	st.interiorFaces(w, ni)
+	// Inflow face i=0: the symmetry plane (stagnation line). The flux is
+	// Flux(mirror(q), q) — the same mirror linearization as the wall, minus
+	// the conduction term (no wall here).
+	if nx, ny, area := w.nrm[0], w.nrm[1], w.nrm[2]; area > 0 {
+		q := s.prim[j]
+		lam := (math.Abs(q.U*nx+q.V*ny) + q.A) * area
+		B0 := w.B[0:16]
+		jacN(w.jm[:], mirror(q, nx, ny), nx, ny, area)
+		mirrorCols(w.jm[:], nx, ny)
+		addScaled(B0, w.jm[:], -0.5)
+		jacN(w.jp[:], q, nx, ny, area)
+		addScaled(B0, w.jp[:], -0.5)
+		addScaledIdent(B0, lam)
+	}
+	// Outflow face i=ni: zero-gradient ghost, flux Flux(q, q) = S·F(q).
+	// Both upwind halves see the same state, so the dissipation cancels and
+	// the derivative is exactly the full Jacobian S·A(q) — at the (mostly
+	// supersonic) exit its eigenvalues are positive and strengthen the
+	// last diagonal block.
+	if nx, ny, area := w.nrm[3*ni], w.nrm[3*ni+1], w.nrm[3*ni+2]; area > 0 {
+		q := s.prim[(ni-1)*nj+j]
+		Bn := w.B[(ni-1)*16 : ni*16]
+		jacN(w.jm[:], q, nx, ny, area)
+		addScaled(Bn, w.jm[:], 1)
 	}
 }
 
-// equilibrate transforms the assembled system into the scaled variables
-// (D⁻¹TD)(D⁻¹ΔU) = D⁻¹d with D the per-cell block diag(scl): every block
-// entry becomes O(spectral radius), which the unscaled elimination is not —
-// conserved-variable Jacobians span the mass-to-energy magnitude range and
-// lose the factorization to cancellation.
-func (st *implicitStepper) equilibrate(w *implicitLineWS) {
-	nj := st.s.nj
-	for j := 0; j < nj; j++ {
-		for r := 0; r < 4; r++ {
-			base := j*16 + r*4
-			for c := 0; c < 4; c++ {
-				w.A[base+c] *= st.rat[r*4+c]
-				w.B[base+c] *= st.rat[r*4+c]
-				w.C[base+c] *= st.rat[r*4+c]
-			}
-			w.D[j*4+r] /= st.scl[r]
-		}
-	}
+// setDiagBlock writes d·I over the 4×4 block at dst (all 16 entries).
+//
+//cataero:hotpath
+func setDiagBlock(dst []float64, d float64) {
+	dst[0], dst[1], dst[2], dst[3] = d, 0, 0, 0
+	dst[4], dst[5], dst[6], dst[7] = 0, d, 0, 0
+	dst[8], dst[9], dst[10], dst[11] = 0, 0, d, 0
+	dst[12], dst[13], dst[14], dst[15] = 0, 0, 0, d
 }
 
 // lineUpdateValid reports whether applying the line's solved increments
-// keeps every cell physical (see Solver.physicalState).
-func (st *implicitStepper) lineUpdateValid(i int, w *implicitLineWS) bool {
+// keeps every cell physical (see Solver.physicalState); the line's cells
+// sit at base, base+stride, ....
+func (st *implicitStepper) lineUpdateValid(base, stride, n int, w *implicitLineWS) bool {
 	s := st.s
-	for j := 0; j < s.nj; j++ {
-		k := s.idx(i, j)
+	for c := 0; c < n; c++ {
+		k := base + c*stride
 		var cand Cons
-		for c := 0; c < 4; c++ {
-			cand[c] = s.U[k][c] + w.D[j*4+c]
+		for r := 0; r < 4; r++ {
+			cand[r] = s.U[k][r] + w.D[c*4+r]
 		}
 		if !s.physicalState(cand) {
 			return false
@@ -470,18 +775,18 @@ func (st *implicitStepper) lineUpdateValid(i int, w *implicitLineWS) bool {
 	return true
 }
 
-// fallbackLine applies a one-stage explicit update to line i at the
-// explicit CFL (the local time steps were built at the ramped CFL, so they
-// are rescaled by Opts.CFL/cfl) — the diverging-line escape hatch.
-func (st *implicitStepper) fallbackLine(i int) {
+// fallbackLine applies a one-stage explicit update to the line's cells at
+// the explicit CFL (the local time steps were built at the ramped CFL, so
+// they are rescaled by Opts.CFL/cfl) — the diverging-line escape hatch.
+func (st *implicitStepper) fallbackLine(base, stride, n int) {
 	s := st.s
 	scale := s.Opts.CFL / st.cfl
 	met := s.met
-	for j := 0; j < s.nj; j++ {
-		k := s.idx(i, j)
+	for c := 0; c < n; c++ {
+		k := base + c*stride
 		dtv := scale * s.dt[k] / met.Vol[k]
-		for c := 0; c < 4; c++ {
-			s.U[k][c] -= dtv * s.res[k][c]
+		for r := 0; r < 4; r++ {
+			s.U[k][r] -= dtv * s.res[k][r]
 		}
 	}
 }

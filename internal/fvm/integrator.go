@@ -96,4 +96,5 @@ func (explicitIntegrator) NewStepper(s *Solver) (Stepper, error) {
 
 type explicitStepper struct{ s *Solver }
 
+//cataero:hotpath
 func (e explicitStepper) Step() float64 { return e.s.stepExplicit() }

@@ -2,15 +2,16 @@ package fvm
 
 // Exported registry name constants. Code outside this package must use
 // these instead of bare string literals when naming a flux kernel, time
-// integrator, limiter or multilevel cycle — the catlint registry analyzer
-// enforces it, so a renamed registry entry fails the build-time lint
-// instead of a runtime lookup.
+// integrator, limiter, multilevel cycle or implicit sweep — the catlint
+// registry analyzer enforces it, so a renamed registry entry fails the
+// build-time lint instead of a runtime lookup.
 const (
 	// Flux kernels (Options.Flux, CaseSpec "flux").
-	FluxHLLE     = "hlle"
-	FluxHLLEEF   = "hlle-ef"
-	FluxHLLC     = "hllc"
-	FluxAUSMPlus = "ausm+"
+	FluxHLLE       = "hlle"
+	FluxHLLEEF     = "hlle-ef"
+	FluxHLLC       = "hllc"
+	FluxAUSMPlus   = "ausm+"
+	FluxAUSMPlusUp = "ausm+up"
 
 	// Time integrators (Options.TimeStepping, CaseSpec "time_stepping").
 	TimeSteppingExplicit = "explicit"
@@ -23,4 +24,9 @@ const (
 	// Multilevel cycles (SequenceOptions.Cycle, CaseSpec "cycle").
 	CycleCascade = "cascade"
 	CycleV       = "v"
+
+	// Implicit sweep schedules (Options.ImplicitSweep, CaseSpec
+	// "implicit_sweep").
+	ImplicitSweepJLine = "jline"
+	ImplicitSweepADI   = "adi"
 )

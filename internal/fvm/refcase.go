@@ -40,3 +40,38 @@ func ReferenceViscousCase(ni, nj int, ts string) (*grid.Grid2D, Options, error) 
 	}
 	return g, o, nil
 }
+
+// ReferenceSlenderCase is the high-aspect-ratio counterpart of
+// ReferenceViscousCase: the same Mach-6 hemisphere, but resolved with many
+// streamwise stations over few, mildly clustered wall-normal cells, so the
+// cell aspect ratio flips — the streamwise spacing is the fine direction
+// and streamwise coupling, not wall-normal stiffness, is what limits the
+// relaxation. Wall-normal-only ("jline") line relaxation stalls its CFL
+// ramp here; the alternating-direction sweep carries the streamwise
+// couplings implicitly and keeps climbing. sweep selects the implicit
+// schedule ("" = jline default).
+func ReferenceSlenderCase(ni, nj int, sweep string) (*grid.Grid2D, Options, error) {
+	body := geometry.NewSphere(0.0127)
+	g, err := grid.NewBlunt(body, body.MaxS(), ni, nj, func(s float64) float64 {
+		return 0.35*0.0127 + 0.3*s
+	}, 1.02)
+	if err != nil {
+		return nil, Options{}, err
+	}
+	g.Axisymmetric = true
+	o := Options{
+		Gas:           gas.NewIdealAir(),
+		Viscous:       true,
+		Wall:          NoSlipIsothermal,
+		TWall:         1500,
+		Mu:            transport.Sutherland,
+		K:             transport.SutherlandConductivity,
+		FreestreamV:   [2]float64{6 * math.Sqrt(thermo.GammaAir*thermo.RAir*217), 0},
+		FreestreamPT:  [2]float64{550, 217},
+		CFL:           0.4,
+		MUSCL:         true,
+		TimeStepping:  TimeSteppingImplicit,
+		ImplicitSweep: sweep,
+	}
+	return g, o, nil
+}

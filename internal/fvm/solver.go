@@ -303,6 +303,8 @@ func (s *Solver) dtRange(ci, lo, hi int) {
 // (Options.TimeStepping) and returns the RMS density residual. With
 // Options.FreezeLimiterAt set it also drives the frozen-limiter state
 // machine on the returned residual.
+//
+//cataero:hotpath
 func (s *Solver) Step() float64 {
 	r := s.stepper.Step()
 	if s.frzI != nil {

@@ -94,6 +94,12 @@ func TestHotPathIfaceFixture(t *testing.T) {
 	checkFixture(t, prog, a.Run(prog))
 }
 
+func TestHotPathAssemblyFixture(t *testing.T) {
+	prog := loadFixture(t, "./internal/lint/testdata/src/hotpathasmfix")
+	a := HotPath(IfaceRoot{Pkg: "src/hotpathasmfix", Iface: "Stepper", Method: "Step"})
+	checkFixture(t, prog, a.Run(prog))
+}
+
 func TestCtxLoopFixture(t *testing.T) {
 	prog := loadFixture(t, "./internal/lint/testdata/src/ctxloopfix")
 	checkFixture(t, prog, CtxLoop("src/ctxloopfix").Run(prog))

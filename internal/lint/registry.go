@@ -67,13 +67,20 @@ func CataeroFamilies() []Family {
 			Kind: "flux kernel", Pkg: "internal/fvm", RegisterFunc: "RegisterFlux",
 			Enumerator: "FluxKernels", CheckCall: "cataero.FluxKernels", CheckPkg: "cmd/catsim",
 			SpecPkg: "internal/core", SpecType: "CaseSpec", SpecJSON: "flux",
-			Consts: name(map[string]string{"hlle": "fvm.FluxHLLE", "hlle-ef": "fvm.FluxHLLEEF", "hllc": "fvm.FluxHLLC", "ausm+": "fvm.FluxAUSMPlus"}),
+			Consts: name(map[string]string{"hlle": "fvm.FluxHLLE", "hlle-ef": "fvm.FluxHLLEEF", "hllc": "fvm.FluxHLLC", "ausm+": "fvm.FluxAUSMPlus", "ausm+up": "fvm.FluxAUSMPlusUp"}),
 		},
 		{
 			Kind: "time stepping", Pkg: "internal/fvm", RegisterFunc: "RegisterIntegrator",
 			Enumerator: "Integrators", CheckCall: "cataero.TimeSteppings", CheckPkg: "cmd/catsim",
 			SpecPkg: "internal/core", SpecType: "CaseSpec", SpecJSON: "time_stepping",
 			Consts: name(map[string]string{"explicit": "fvm.TimeSteppingExplicit", "implicit": "fvm.TimeSteppingImplicit"}),
+		},
+		{
+			Kind: "implicit sweep", Pkg: "internal/fvm", ListFunc: "ImplicitSweeps",
+			Enumerator: "ImplicitSweeps", CheckCall: "cataero.ImplicitSweeps", CheckPkg: "cmd/catsim",
+			SpecPkg: "internal/core", SpecType: "CaseSpec", SpecJSON: "implicit_sweep",
+			CompareField: "ImplicitSweep",
+			Consts:       name(map[string]string{"jline": "fvm.ImplicitSweepJLine", "adi": "fvm.ImplicitSweepADI"}),
 		},
 		{
 			Kind: "limiter", Pkg: "internal/fvm", TableVar: "limiterTable",

@@ -39,6 +39,9 @@ type Case struct {
 	// removes the wall-normal CFL restriction, converging clustered viscous
 	// grids in several-fold fewer steps.
 	TimeStepping string
+	// ImplicitSweep selects the implicit sweep pattern ("jline", "adi";
+	// default fvm.DefaultImplicitSweep). Ignored by the explicit integrator.
+	ImplicitSweep string
 	// CFLRamp tunes the implicit integrator's CFL schedule (zero value =
 	// fvm.DefaultCFLRamp).
 	CFLRamp fvm.CFLRamp
@@ -105,22 +108,23 @@ func Solve(ctx context.Context, c Case) (*Result, error) {
 	}
 	g.Axisymmetric = true
 	o := fvm.Options{
-		Gas:          c.Gas,
-		Viscous:      true,
-		Wall:         fvm.NoSlipIsothermal,
-		TWall:        c.TWall,
-		Mu:           c.Mu,
-		K:            c.K,
-		FreestreamV:  [2]float64{c.VInf, 0},
-		FreestreamPT: [2]float64{c.PInf, c.TInf},
-		CFL:          c.CFL,
-		MUSCL:        true,
-		Flux:         c.Flux,
-		TimeStepping: c.TimeStepping,
-		CFLRamp:      c.CFLRamp,
-		Limiter:      c.Limiter,
-		Pool:         c.Pool,
-		Progress:     c.Progress,
+		Gas:           c.Gas,
+		Viscous:       true,
+		Wall:          fvm.NoSlipIsothermal,
+		TWall:         c.TWall,
+		Mu:            c.Mu,
+		K:             c.K,
+		FreestreamV:   [2]float64{c.VInf, 0},
+		FreestreamPT:  [2]float64{c.PInf, c.TInf},
+		CFL:           c.CFL,
+		MUSCL:         true,
+		Flux:          c.Flux,
+		TimeStepping:  c.TimeStepping,
+		CFLRamp:       c.CFLRamp,
+		ImplicitSweep: c.ImplicitSweep,
+		Limiter:       c.Limiter,
+		Pool:          c.Pool,
+		Progress:      c.Progress,
 
 		FreezeLimiterAt: c.FreezeLimiterAt,
 	}

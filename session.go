@@ -28,6 +28,7 @@ type Session struct {
 	gamma     float64
 	flux      string
 	timestep  string
+	sweep     string
 	limiter   string
 	freezeLim float64
 	gridSeq   bool
@@ -94,6 +95,17 @@ func WithFlux(name string) Option {
 // viscous NS grids in several-fold fewer steps than the explicit default.
 func WithTimeStepping(name string) Option {
 	return func(s *Session) { s.timestep = name }
+}
+
+// WithImplicitSweep sets the default implicit sweep pattern ("jline",
+// "adi" — see ImplicitSweeps) stamped onto problems whose ImplicitSweep
+// field is left empty; an unknown name fails at solve time with the valid
+// list. The alternating-direction "adi" schedule adds a streamwise
+// block-tridiagonal pass after each wall-normal pass, which pays off on
+// high-aspect-ratio grids where streamwise coupling limits the wall-normal
+// relaxation. Ignored by explicit solves.
+func WithImplicitSweep(name string) Option {
+	return func(s *Session) { s.sweep = name }
 }
 
 // WithGridSequencing turns on grid-sequenced NS and Euler shock-shape
@@ -178,6 +190,9 @@ func (s *Session) apply(p Problem) Problem {
 	}
 	if p.TimeStepping == "" && s.timestep != "" {
 		p.TimeStepping = s.timestep
+	}
+	if p.ImplicitSweep == "" && s.sweep != "" {
+		p.ImplicitSweep = s.sweep
 	}
 	if p.Limiter == "" && s.limiter != "" {
 		p.Limiter = s.limiter
