@@ -147,6 +147,21 @@ func Cycles() []string { return fvm.Cycles() }
 // below Start is floored at Start.
 type CFLRamp = fvm.CFLRamp
 
+// Checkpoint is a resumable solver-state snapshot taken at a step boundary
+// (see Problem.CheckpointEvery / Problem.CheckpointSink / Problem.Restore):
+// the conserved field, grid nodes, implicit ramp state and limiter latch,
+// with a stable binary encoding (AppendBinary) and a verifying decoder.
+type Checkpoint = fvm.Checkpoint
+
+// CheckpointFormat is the checkpoint schema version understood by this
+// build; DecodeCheckpoint refuses other versions.
+const CheckpointFormat = fvm.CheckpointFormat
+
+// DecodeCheckpoint parses and verifies an encoded checkpoint; any damage —
+// truncation, corruption, a foreign format version — is an error, so a torn
+// checkpoint file can never be resumed from.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) { return fvm.DecodeCheckpoint(data) }
+
 // CanonicalSpec returns the canonical, default-normalized case spec of a
 // problem: the label cleared, every default a solve would fill spelled
 // explicitly (core normalization plus the finite-volume registry defaults).

@@ -184,7 +184,7 @@ func benchSolve(ni, nj int, ts string, seq *fvm.SequenceOptions, steps *float64)
 				b.Fatal(err)
 			}
 			n := 0
-			o.Progress = func(phase string, step, maxSteps int, residual float64) { n++ }
+			o.Progress = func(phase string, step, maxSteps int, residual float64, diag fvm.Diag) { n++ }
 			var s *fvm.Solver
 			if seq != nil {
 				s, _, err = fvm.SolveMultilevel(context.Background(), g, o, 6000, 5e-4, *seq)
@@ -292,7 +292,7 @@ func benchSolveSlender(sweep string, steps *float64) func(b *testing.B) {
 				b.Fatal(err)
 			}
 			n := 0
-			o.Progress = func(phase string, step, maxSteps int, residual float64) { n++ }
+			o.Progress = func(phase string, step, maxSteps int, residual float64, diag fvm.Diag) { n++ }
 			s, err := fvm.New(g, o)
 			if err != nil {
 				b.Fatal(err)

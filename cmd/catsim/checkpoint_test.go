@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cataero/internal/ledger"
+)
+
+// Checkpoint flags are ledger-backed; using them without -ledger (or with a
+// negative cadence) is a usage error that must fail before any solve starts.
+func TestRunCmdCheckpointFlagValidation(t *testing.T) {
+	if code := runCmd([]string{"testdata/smoke.json", "-checkpoint", "5"}); code != 2 {
+		t.Errorf("-checkpoint without -ledger exit code %d, want 2", code)
+	}
+	if code := runCmd([]string{"testdata/smoke.json", "-resume"}); code != 2 {
+		t.Errorf("-resume without -ledger exit code %d, want 2", code)
+	}
+	if code := runCmd([]string{"testdata/smoke.json", "-ledger", t.TempDir(), "-checkpoint", "-1"}); code != 2 {
+		t.Errorf("negative -checkpoint exit code %d, want 2", code)
+	}
+}
+
+func TestServeCmdCheckpointFlagValidation(t *testing.T) {
+	if code := serveCmd([]string{"-checkpoint", "5"}); code != 2 {
+		t.Errorf("serve -checkpoint without -ledger exit code %d, want 2", code)
+	}
+	if code := serveCmd([]string{"-checkpoint", "-1"}); code != 2 {
+		t.Errorf("serve negative -checkpoint exit code %d, want 2", code)
+	}
+}
+
+// An interrupted `catsim run -checkpoint` leaves a resumable checkpoint in
+// the ledger; a second invocation with -resume finishes the solve, files the
+// entry, and drops the checkpoint it superseded.
+func TestRunCmdCheckpointResumeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NS solve in short mode")
+	}
+	dir := t.TempDir()
+	// A case heavy enough that a short -timeout lands mid-march, not after
+	// convergence (the smoke case is too small to interrupt reliably).
+	casePath := filepath.Join(t.TempDir(), "slow.json")
+	caseJSON := []byte(`{"class":"ns","chemistry":"equilibrium-air",
+		"p_inf":5474.9,"t_inf":216.65,"v_inf":1770.4,
+		"nose_radius":0.3,"t_wall":1500,"ni":32,"nj":48,"max_steps":4000,
+		"time_stepping":"implicit","grid_sequencing":"off"}`)
+	if err := os.WriteFile(casePath, caseJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code := runCmd([]string{casePath, "-ledger", dir, "-checkpoint", "5", "-timeout", "100ms"})
+	if code == 0 {
+		t.Skip("solve converged inside the interrupt timeout; nothing to resume")
+	}
+	if code != 1 {
+		t.Fatalf("interrupted run exit code %d, want 1", code)
+	}
+	l, err := ledger.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cks, err := l.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) != 1 {
+		t.Fatalf("interrupted run left %d checkpoints, want 1", len(cks))
+	}
+	if cks[0].Step <= 0 {
+		t.Errorf("checkpoint step %d, want > 0", cks[0].Step)
+	}
+	if len(cks[0].Spec) == 0 {
+		t.Error("checkpoint stored without a case spec; serve recovery could not re-submit it")
+	}
+
+	if code := runCmd([]string{casePath, "-ledger", dir, "-checkpoint", "5", "-resume"}); code != 0 {
+		t.Fatalf("resumed run exit code %d, want 0", code)
+	}
+	entries, err := l.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("resumed run filed %d entries, want 1", len(entries))
+	}
+	if entries[0].Key != cks[0].Key {
+		t.Errorf("entry key %s does not match checkpoint key %s", entries[0].Key, cks[0].Key)
+	}
+	if cks, err := l.Checkpoints(); err != nil || len(cks) != 0 {
+		t.Errorf("result did not supersede the checkpoint: %d left, err %v", len(cks), err)
+	}
+
+	// A third invocation is a pure ledger hit — and the size-budget GC can
+	// then evict the artifact through the CLI.
+	if code := runCmd([]string{casePath, "-ledger", dir}); code != 0 {
+		t.Errorf("ledger-hit rerun exit code %d, want 0", code)
+	}
+	if code := ledgerGC([]string{"-ledger", dir, "-max-bytes", "1"}); code != 0 {
+		t.Errorf("ledger gc -max-bytes exit code %d, want 0", code)
+	}
+	if entries, err := l.Entries(); err != nil || len(entries) != 0 {
+		t.Errorf("gc -max-bytes left %d entries, err %v", len(entries), err)
+	}
+}

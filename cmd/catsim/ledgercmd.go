@@ -44,7 +44,9 @@ subcommands:
   ls   list stored entries: key, solver, age and original solve cost
   get  print one entry (full JSON) by key; KEY may be a unique prefix
   gc   remove entries created before -older ago, plus damaged entries
-       and abandoned temp files; -dry reports without removing
+       and abandoned temp files; -max-bytes then evicts least-recently-
+       used files (checkpoints before results) until the ledger fits the
+       budget; -dry reports the age sweep without removing
 `)
 }
 
@@ -152,6 +154,7 @@ func resolveKey(l *ledger.Ledger, prefix string) (string, error) {
 func ledgerGC(args []string) int {
 	fs := flag.NewFlagSet("gc", flag.ExitOnError)
 	older := fs.Duration("older", 0, "remove entries created more than this long ago (0 = only damaged entries)")
+	maxBytes := fs.Int64("max-bytes", 0, "evict least-recently-used files (checkpoints first) until the ledger fits this size (0 = no size budget)")
 	dry := fs.Bool("dry", false, "report what would be removed without removing")
 	l, rest, code := openLedgerFlag(fs, args)
 	if code != 0 {
@@ -187,5 +190,13 @@ func ledgerGC(args []string) int {
 		return 1
 	}
 	fmt.Printf("removed %d entries\n", removed)
+	if *maxBytes > 0 {
+		evicted, freed, err := l.GCSize(*maxBytes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "catsim ledger gc: %v\n", err)
+			return 1
+		}
+		fmt.Printf("evicted %d files (%d bytes) to fit %d bytes\n", evicted, freed, *maxBytes)
+	}
 	return 0
 }

@@ -31,6 +31,8 @@ func runCmd(args []string) int {
 	workers := fs.Int("workers", 0, "concurrent solve bound (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 	ledgerDir := fs.String("ledger", "", "consult and update a run ledger (shared with 'catsim serve')")
+	checkpoint := fs.Int("checkpoint", 0, "persist a resumable checkpoint to the ledger every N steps (requires -ledger)")
+	resume := fs.Bool("resume", false, "resume from the newest valid ledger checkpoint of this case (requires -ledger)")
 	outPath := fs.String("out", "", "write the solved environment as JSON to this file (the serve artifact)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: catsim run [flags] case.json")
@@ -60,6 +62,14 @@ func runCmd(args []string) int {
 	}
 	if *freezeLim < 0 || *freezeLim >= 1 {
 		fmt.Fprintln(os.Stderr, "catsim run: -freezelimiter must be in [0, 1)")
+		return 2
+	}
+	if *checkpoint < 0 {
+		fmt.Fprintln(os.Stderr, "catsim run: -checkpoint must be non-negative")
+		return 2
+	}
+	if (*checkpoint > 0 || *resume) && *ledgerDir == "" {
+		fmt.Fprintln(os.Stderr, "catsim run: -checkpoint and -resume need -ledger DIR to store and find checkpoints")
 		return 2
 	}
 
@@ -127,6 +137,42 @@ func runCmd(args []string) int {
 		if e, err := store.Get(caseKey); err == nil && e != nil {
 			return reportLedgerHit(path, e, *outPath)
 		}
+		// Checkpoint sink and resume source share the entry's content key, so
+		// an interrupted `catsim run` and a `catsim serve` over the same
+		// directory can continue each other's solves.
+		if *checkpoint > 0 {
+			// The stored spec is the normalized canonical JSON — the same
+			// bytes `catsim serve` stores, so its restart recovery can
+			// re-submit a run this command left behind.
+			spec, _ := cataero.CanonicalJSON(np)
+			p.CheckpointEvery = *checkpoint
+			p.CheckpointSink = func(cp *cataero.Checkpoint) {
+				data, err := cp.AppendBinary(nil)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "catsim run: encode checkpoint: %v\n", err)
+					return
+				}
+				err = store.PutCheckpoint(&ledger.Checkpoint{
+					Key: caseKey, Spec: spec, Step: cp.Step,
+					Version: cataero.Version, Data: data,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "catsim run: checkpoint: %v\n", err)
+				}
+			}
+		}
+		if *resume {
+			if lc, err := store.GetCheckpoint(caseKey); err == nil && lc != nil {
+				if cp, err := cataero.DecodeCheckpoint(lc.Data); err == nil {
+					p.Restore = cp
+					fmt.Printf("resuming from ledger checkpoint at step %d\n", lc.Step)
+				} else {
+					fmt.Fprintf(os.Stderr, "catsim run: stored checkpoint unreadable (%v); solving from step 0\n", err)
+				}
+			} else {
+				fmt.Println("no stored checkpoint for this case; solving from step 0")
+			}
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -177,6 +223,10 @@ func runCmd(args []string) int {
 			fmt.Fprintf(os.Stderr, "catsim run: ledger: %v\n", err)
 		} else {
 			fmt.Printf("  ledger       + %s\n", caseKey[:16])
+			// The result supersedes any partial-run checkpoint.
+			if err := store.DeleteCheckpoint(caseKey); err != nil {
+				fmt.Fprintf(os.Stderr, "catsim run: drop checkpoint: %v\n", err)
+			}
 		}
 	}
 	if *outPath != "" {

@@ -45,6 +45,12 @@ func Normalize(p Problem) (Problem, error) {
 func Canonical(p Problem) (CaseSpec, error) {
 	p.Name = ""
 	p.Monitor = nil
+	// Checkpointing never changes the converged solution, so it must not
+	// change the content address: a resumed run writes its result under the
+	// same key a cold solve of the case would.
+	p.CheckpointEvery = 0
+	p.CheckpointSink = nil
+	p.Restore = nil
 	np, err := normalize(p)
 	if err != nil {
 		return CaseSpec{}, err

@@ -69,6 +69,10 @@ type CaseSpec struct {
 	// RefitEvery re-fits the outer boundary to the detected shock locus
 	// every RefitEvery finest-level steps mid-march (0 = off).
 	RefitEvery int `json:"refit_every,omitempty"`
+	// CheckpointEvery emits a solver-state checkpoint every CheckpointEvery
+	// steps (0 = off / session default). Cleared by canonicalization: it
+	// never perturbs a case's ledger key.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
 // CFLRampSpec is the case-file form of the implicit integrator's CFL
@@ -235,6 +239,7 @@ func SpecOf(p Problem) (CaseSpec, error) {
 		Cycle:           p.Cycle,
 		SmoothSteps:     p.SmoothSteps,
 		RefitEvery:      p.RefitEvery,
+		CheckpointEvery: p.CheckpointEvery,
 	}, nil
 }
 
@@ -262,6 +267,9 @@ func (c CaseSpec) Problem() (Problem, error) {
 	if c.RefitEvery < 0 {
 		return Problem{}, fmt.Errorf("core: refit_every %d negative", c.RefitEvery)
 	}
+	if c.CheckpointEvery < 0 {
+		return Problem{}, fmt.Errorf("core: checkpoint_every %d negative", c.CheckpointEvery)
+	}
 	if c.FreezeLimiterAt < 0 || c.FreezeLimiterAt >= 1 {
 		return Problem{}, fmt.Errorf("core: freeze_limiter_at %g outside [0, 1)", c.FreezeLimiterAt)
 	}
@@ -285,6 +293,7 @@ func (c CaseSpec) Problem() (Problem, error) {
 		Cycle:           c.Cycle,
 		SmoothSteps:     c.SmoothSteps,
 		RefitEvery:      c.RefitEvery,
+		CheckpointEvery: c.CheckpointEvery,
 	}
 	if c.CFLRamp != nil {
 		p.CFLRamp = fvm.CFLRamp{Start: c.CFLRamp.Start, Growth: c.CFLRamp.Growth, Max: c.CFLRamp.Max}

@@ -225,6 +225,26 @@ type Problem struct {
 	// equilibrium-composition viscosity/conductivity); nil uses Sutherland.
 	Mu, K func(T float64) float64
 
+	// CheckpointEvery, when positive, asks the NS and Euler shock-shape
+	// classes to emit a solver-state checkpoint every CheckpointEvery steps
+	// through CheckpointSink. It is part of the case specification wire form
+	// (CaseSpec) but is cleared by Canonical, so it never perturbs a case's
+	// ledger key: a checkpointed solve and a plain solve of the same case
+	// produce the same artifact.
+	CheckpointEvery int
+
+	// CheckpointSink receives each emitted checkpoint. The *fvm.Checkpoint
+	// is scratch owned by the solver — encode it (Checkpoint.AppendBinary)
+	// before returning. Runtime-only: dropped by SpecOf/Canonical like
+	// Monitor.
+	CheckpointSink func(*fvm.Checkpoint)
+
+	// Restore, when non-nil, resumes the solve from a previously captured
+	// checkpoint instead of a cold start. A checkpoint that does not match
+	// the case (grid size, phase) is ignored and the solve starts cold:
+	// restore is an optimization, never a requirement. Runtime-only.
+	Restore *fvm.Checkpoint
+
 	// Monitor, when non-nil, observes the solve's iteration loops (see
 	// Monitor). The session layer installs its own monitor for Run handles
 	// and forwards to this one.

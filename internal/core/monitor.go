@@ -26,6 +26,16 @@ type Progress struct {
 	// Residual is the latest RMS density residual for the finite-volume
 	// classes; 0 for classes that do not compute one.
 	Residual float64
+	// Fallbacks counts implicit-integrator divergence recoveries (line
+	// solves that fell back to an explicit update after the CFL ramp
+	// overshot); 0 for the explicit integrator and non-FVM classes.
+	Fallbacks int
+	// Refits counts mid-march shock refits completed so far (multilevel
+	// solves with RefitEvery); 0 otherwise.
+	Refits int
+	// Restarts counts checkpoint restores this solve chain has been through
+	// (1 for the first resumed run, 0 for a cold solve).
+	Restarts int
 }
 
 // Monitor observes the progress of a solve. Callbacks run on the solving

@@ -43,10 +43,11 @@ func fvmProgress(p Problem, solver string) fvm.ProgressFunc {
 		return nil
 	}
 	mon, class := p.Monitor, p.Class
-	return func(phase string, step, maxSteps int, residual float64) {
+	return func(phase string, step, maxSteps int, residual float64, diag fvm.Diag) {
 		mon.OnProgress(Progress{
 			Class: class, Solver: solver, Phase: phase,
 			Step: step, MaxSteps: maxSteps, Residual: residual,
+			Fallbacks: diag.Fallbacks, Refits: diag.Refits, Restarts: diag.Restarts,
 		})
 	}
 }
@@ -293,8 +294,9 @@ func (nsSolver) Solve(ctx context.Context, st *Stack, p Problem) (*Environment, 
 		Flux: p.Flux, TimeStepping: p.TimeStepping, ImplicitSweep: p.ImplicitSweep,
 		CFLRamp: p.CFLRamp,
 		Limiter: p.Limiter, FreezeLimiterAt: p.FreezeLimiterAt,
-		Sequence: sequenceFor(p),
-		Pool:     st.Pool(), Progress: fvmProgress(p, "ns"),
+		Sequence:        sequenceFor(p),
+		CheckpointEvery: p.CheckpointEvery, CheckpointSink: p.CheckpointSink, Restore: p.Restore,
+		Pool: st.Pool(), Progress: fvmProgress(p, "ns"),
 	})
 	if err != nil {
 		return nil, err
@@ -340,8 +342,9 @@ func ShockShapeWith(ctx context.Context, st *Stack, p Problem) (*ShockEnvelope, 
 		Flux:     p.Flux, TimeStepping: p.TimeStepping, ImplicitSweep: p.ImplicitSweep,
 		CFLRamp: p.CFLRamp,
 		Limiter: p.Limiter, FreezeLimiterAt: p.FreezeLimiterAt,
-		Sequence: sequenceFor(p),
-		Pool:     st.Pool(), Progress: fvmProgress(p, "euler"),
+		Sequence:        sequenceFor(p),
+		CheckpointEvery: p.CheckpointEvery, CheckpointSink: p.CheckpointSink, Restore: p.Restore,
+		Pool: st.Pool(), Progress: fvmProgress(p, "euler"),
 	})
 	if err != nil {
 		return nil, err

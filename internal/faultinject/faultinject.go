@@ -1,0 +1,97 @@
+// Package faultinject is the repository's crash-test harness: named
+// injection points compiled into the durability-critical paths (ledger
+// writes, checkpoint encoding) that tests arm to simulate the failures a
+// production deployment actually sees — a full disk, a torn file from a
+// power cut, a process killed between a checkpoint and its result.
+//
+// The hooks are dormant by default and cost one atomic load on the hot
+// side, so shipping them in the real code paths (rather than test doubles)
+// keeps the tested path and the production path the same bytes.
+//
+// Tests arm points with Set/SetMangle and must Reset in cleanup; the
+// package-level state is process-global, so tests that arm it cannot run in
+// parallel with each other.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	armed    atomic.Bool
+	mu       sync.Mutex
+	failures map[string]func() error
+	manglers map[string]func([]byte) []byte
+)
+
+// Set arms an injection point: Fire(point) will invoke f and return its
+// error. Passing f == nil disarms the single point.
+func Set(point string, f func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if failures == nil {
+		failures = map[string]func() error{}
+	}
+	if f == nil {
+		delete(failures, point)
+	} else {
+		failures[point] = f
+	}
+	armed.Store(len(failures)+len(manglers) > 0)
+}
+
+// SetMangle arms a data-corruption point: Mangle(point, b) will pass the
+// bytes through f — typically truncating or flipping them to simulate a
+// torn write. Passing f == nil disarms the single point.
+func SetMangle(point string, f func([]byte) []byte) {
+	mu.Lock()
+	defer mu.Unlock()
+	if manglers == nil {
+		manglers = map[string]func([]byte) []byte{}
+	}
+	if f == nil {
+		delete(manglers, point)
+	} else {
+		manglers[point] = f
+	}
+	armed.Store(len(failures)+len(manglers) > 0)
+}
+
+// Reset disarms every point. Call from test cleanup.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	failures, manglers = nil, nil
+	armed.Store(false)
+}
+
+// Fire triggers the named failure point: nil when unarmed (the production
+// case), otherwise whatever the armed hook returns.
+func Fire(point string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	f := failures[point]
+	mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f()
+}
+
+// Mangle passes data through the named corruption point, returning it
+// unchanged when the point is unarmed (the production case).
+func Mangle(point string, data []byte) []byte {
+	if !armed.Load() {
+		return data
+	}
+	mu.Lock()
+	f := manglers[point]
+	mu.Unlock()
+	if f == nil {
+		return data
+	}
+	return f(data)
+}

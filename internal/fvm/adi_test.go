@@ -188,7 +188,7 @@ func TestADIStepCountAdvantageSlender(t *testing.T) {
 			t.Fatal(err)
 		}
 		steps := 0
-		o.Progress = func(phase string, step, maxSteps int, residual float64) { steps = step }
+		o.Progress = func(phase string, step, maxSteps int, residual float64, diag Diag) { steps = step }
 		s, err := New(g, o)
 		if err != nil {
 			t.Fatal(err)

@@ -128,7 +128,7 @@ func benchSolveViscous(b *testing.B, ni, nj int, ts string, seq *SequenceOptions
 		b.Fatal(err)
 	}
 	steps := 0
-	o.Progress = func(phase string, step, maxSteps int, residual float64) { steps++ }
+	o.Progress = func(phase string, step, maxSteps int, residual float64, diag Diag) { steps++ }
 	var s *Solver
 	if seq != nil {
 		s, _, err = SolveMultilevel(context.Background(), g, o, 6000, 5e-4, *seq)
@@ -205,7 +205,7 @@ func BenchmarkSolveSlender(b *testing.B) {
 					b.Fatal(err)
 				}
 				steps := 0
-				o.Progress = func(phase string, step, maxSteps int, residual float64) { steps++ }
+				o.Progress = func(phase string, step, maxSteps int, residual float64, diag Diag) { steps++ }
 				s, err := New(g, o)
 				if err != nil {
 					b.Fatal(err)

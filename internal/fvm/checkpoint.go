@@ -1,0 +1,431 @@
+package fvm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// This file is the durability layer of the finite-volume solver: a stable
+// serialization of everything a march needs to resume bit-exactly after a
+// process death — the conserved field, the grid nodes (a mid-march refit
+// moves them), the implicit integrator's CFL ramp bookkeeping, the
+// frozen-limiter latch, and the marching loop's own position (step offset,
+// latched first residual or absolute target, multilevel refit state).
+//
+// Consistency: checkpoints are only taken at step boundaries, by the
+// marching loops themselves (RunCtx/RunToCtx/marchFinest) — never from
+// another goroutine — so a checkpoint always captures a state the
+// uninterrupted march actually passed through. Resuming from it and
+// marching to convergence reproduces the uninterrupted run's terminal state
+// bit for bit on the same machine (the parallel sweep partition is fixed by
+// GOMAXPROCS, and every reduction is ordered).
+//
+// Allocation: Solver.Checkpoint fills a per-solver scratch Checkpoint that
+// is allocated once and reused, so periodic checkpointing adds no per-step
+// garbage to a long march. The sink must therefore encode or copy the
+// Checkpoint before returning. Encoding and decoding allocate freely — they
+// run once per emission in the sink, off the marching hot path.
+
+// CheckpointFormat is the checkpoint schema version. Encoded checkpoints
+// carry it in both the binary magic and the JSON header; a decoder refuses
+// other versions, so a resumed process never misreads a foreign layout.
+// Bump it (and the magic) on any incompatible change — see CONTRIBUTING.md
+// for the compatibility policy.
+const CheckpointFormat = 1
+
+// checkpointMagic brands an encoded checkpoint; the trailing digit is the
+// format version.
+const checkpointMagic = "CATCKPT1"
+
+// Checkpoint is a solver state snapshot at a step boundary, sufficient to
+// resume the march exactly where it stopped. Scalar fields travel in a JSON
+// header; the bulk float arrays travel as raw little-endian payloads (see
+// AppendBinary). The zero value of every field is the correct "not
+// applicable" marker, so one type serves the plain, sequenced and
+// multilevel marches.
+type Checkpoint struct {
+	Format int
+	NI, NJ int
+	// Phase names the marching stage that wrote the checkpoint ("solve",
+	// "coarse", "fine", "level0"...), which is also how a restore is routed:
+	// a checkpoint resumes only the stage that produced it.
+	Phase string
+	// Step counts completed steps of the phase's marching loop.
+	Step int
+	// First is RunCtx's latched first-step residual (-1 before the latch);
+	// unused by the absolute-target loops.
+	First float64
+	// Target is the absolute residual target of a RunToCtx or multilevel
+	// finest march; 0 for a relative-drop (RunCtx) march.
+	Target float64
+
+	// Implicit CFL ramp state (zero when the integrator has no ramp).
+	CFL       float64
+	RampBest  float64
+	RampStall int
+	RampCap   float64
+	RampLows  int
+	Fallbacks int
+
+	// Frozen-limiter latch.
+	LimMode  int
+	LimFirst float64
+
+	// Multilevel finest-march position (SolveMultilevel): fine-step budget
+	// consumed, refits done, steps since the last refit, and the refit
+	// stall-out window. MarchBest stores 0 for "no best yet" (+Inf has no
+	// JSON form).
+	FineSteps    int
+	Refits       int
+	SinceRefit   int
+	MarchBest    float64
+	MarchStalled int
+
+	// Restarts counts checkpoint restores already applied to the run this
+	// checkpoint continues, so a twice-resumed run reports the full chain.
+	Restarts int
+
+	// GridX/GridY are the node coordinates, flattened row-major
+	// ((NI+1)*(NJ+1) each) — a mid-march refit moves them, so the grid the
+	// state lives on must travel with the state.
+	GridX, GridY []float64
+	// U is the conserved field, flattened (4*NI*NJ).
+	U []float64
+	// FrzI/FrzJ are the recorded limiter offsets, present only when the
+	// limiter was frozen (LimMode == limFrozen).
+	FrzI, FrzJ []float64
+}
+
+// ckptHeader is the JSON scalar header of an encoded checkpoint. Payload
+// lengths are spelled explicitly so the decoder can bound-check before
+// touching the raw floats.
+type ckptHeader struct {
+	Format       int     `json:"format"`
+	NI           int     `json:"ni"`
+	NJ           int     `json:"nj"`
+	Phase        string  `json:"phase"`
+	Step         int     `json:"step"`
+	First        float64 `json:"first"`
+	Target       float64 `json:"target,omitempty"`
+	CFL          float64 `json:"cfl,omitempty"`
+	RampBest     float64 `json:"ramp_best,omitempty"`
+	RampStall    int     `json:"ramp_stall,omitempty"`
+	RampCap      float64 `json:"ramp_cap,omitempty"`
+	RampLows     int     `json:"ramp_lows,omitempty"`
+	Fallbacks    int     `json:"fallbacks,omitempty"`
+	LimMode      int     `json:"lim_mode,omitempty"`
+	LimFirst     float64 `json:"lim_first,omitempty"`
+	FineSteps    int     `json:"fine_steps,omitempty"`
+	Refits       int     `json:"refits,omitempty"`
+	SinceRefit   int     `json:"since_refit,omitempty"`
+	MarchBest    float64 `json:"march_best,omitempty"`
+	MarchStalled int     `json:"march_stalled,omitempty"`
+	Restarts     int     `json:"restarts,omitempty"`
+	NGrid        int     `json:"n_grid"`
+	NU           int     `json:"n_u"`
+	NFrzI        int     `json:"n_frz_i,omitempty"`
+	NFrzJ        int     `json:"n_frz_j,omitempty"`
+}
+
+// AppendBinary encodes the checkpoint onto dst and returns the extended
+// slice. Layout: the 8-byte magic, a little-endian uint32 header length,
+// the JSON scalar header, the raw little-endian float64 payloads (GridX,
+// GridY, U, FrzI, FrzJ), and a SHA-256 checksum of everything before it.
+// The float payloads round-trip bit-exactly — NaN payloads and signed
+// zeros included — which a decimal encoding would not guarantee.
+func (cp *Checkpoint) AppendBinary(dst []byte) ([]byte, error) {
+	h := ckptHeader{
+		Format: CheckpointFormat,
+		NI:     cp.NI, NJ: cp.NJ,
+		Phase: cp.Phase,
+		Step:  cp.Step,
+		First: cp.First, Target: cp.Target,
+		CFL: cp.CFL, RampBest: cp.RampBest, RampStall: cp.RampStall,
+		RampCap: cp.RampCap, RampLows: cp.RampLows, Fallbacks: cp.Fallbacks,
+		LimMode: cp.LimMode, LimFirst: cp.LimFirst,
+		FineSteps: cp.FineSteps, Refits: cp.Refits, SinceRefit: cp.SinceRefit,
+		MarchBest: cp.MarchBest, MarchStalled: cp.MarchStalled,
+		Restarts: cp.Restarts,
+		NGrid:    len(cp.GridX), NU: len(cp.U),
+		NFrzI: len(cp.FrzI), NFrzJ: len(cp.FrzJ),
+	}
+	if len(cp.GridY) != len(cp.GridX) {
+		return nil, fmt.Errorf("fvm: checkpoint grid payloads disagree: %d x, %d y", len(cp.GridX), len(cp.GridY))
+	}
+	hdr, err := json.Marshal(&h)
+	if err != nil {
+		return nil, fmt.Errorf("fvm: encode checkpoint header: %w", err)
+	}
+	start := len(dst)
+	dst = append(dst, checkpointMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(hdr)))
+	dst = append(dst, hdr...)
+	for _, payload := range [][]float64{cp.GridX, cp.GridY, cp.U, cp.FrzI, cp.FrzJ} {
+		for _, v := range payload {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	sum := sha256.Sum256(dst[start:])
+	return append(dst, sum[:]...), nil
+}
+
+// DecodeCheckpoint parses and verifies an encoded checkpoint. Any damage —
+// wrong magic, foreign format, truncation, length mismatch, checksum
+// failure — is an error; a caller must treat it as "no checkpoint" and
+// solve cold rather than resume from a torn file.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	const magicLen = len(checkpointMagic)
+	if len(data) < magicLen+4+sha256.Size {
+		return nil, fmt.Errorf("fvm: checkpoint truncated (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:magicLen], []byte(checkpointMagic)) {
+		return nil, fmt.Errorf("fvm: not a checkpoint (bad magic)")
+	}
+	body, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], trailer) {
+		return nil, fmt.Errorf("fvm: checkpoint checksum mismatch")
+	}
+	hlen := int(binary.LittleEndian.Uint32(body[magicLen:]))
+	rest := body[magicLen+4:]
+	if hlen < 0 || hlen > len(rest) {
+		return nil, fmt.Errorf("fvm: checkpoint header length %d exceeds body", hlen)
+	}
+	var h ckptHeader
+	if err := json.Unmarshal(rest[:hlen], &h); err != nil {
+		return nil, fmt.Errorf("fvm: decode checkpoint header: %w", err)
+	}
+	if h.Format != CheckpointFormat {
+		return nil, fmt.Errorf("fvm: checkpoint format %d, want %d", h.Format, CheckpointFormat)
+	}
+	if h.NGrid < 0 || h.NU < 0 || h.NFrzI < 0 || h.NFrzJ < 0 {
+		return nil, fmt.Errorf("fvm: checkpoint with negative payload length")
+	}
+	total := 2*h.NGrid + h.NU + h.NFrzI + h.NFrzJ
+	payload := rest[hlen:]
+	if len(payload) != 8*total {
+		return nil, fmt.Errorf("fvm: checkpoint payload %d bytes, header promises %d", len(payload), 8*total)
+	}
+	take := func(n int) []float64 {
+		if n == 0 {
+			return nil
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+		payload = payload[8*n:]
+		return out
+	}
+	cp := &Checkpoint{
+		Format: h.Format,
+		NI:     h.NI, NJ: h.NJ,
+		Phase: h.Phase,
+		Step:  h.Step,
+		First: h.First, Target: h.Target,
+		CFL: h.CFL, RampBest: h.RampBest, RampStall: h.RampStall,
+		RampCap: h.RampCap, RampLows: h.RampLows, Fallbacks: h.Fallbacks,
+		LimMode: h.LimMode, LimFirst: h.LimFirst,
+		FineSteps: h.FineSteps, Refits: h.Refits, SinceRefit: h.SinceRefit,
+		MarchBest: h.MarchBest, MarchStalled: h.MarchStalled,
+		Restarts: h.Restarts,
+		GridX:    take(h.NGrid), GridY: take(h.NGrid),
+		U:    take(h.NU),
+		FrzI: take(h.NFrzI), FrzJ: take(h.NFrzJ),
+	}
+	return cp, nil
+}
+
+// rampKeeper is the optional integrator hook checkpointing uses to capture
+// and restore the CFL ramp's convergence bookkeeping. Integrators without
+// ramp state (the explicit scheme) simply do not implement it.
+type rampKeeper interface {
+	saveRamp() rampSnapshot
+	restoreRamp(rampSnapshot)
+}
+
+// rampSnapshot mirrors implicitStepper's mutable schedule state.
+type rampSnapshot struct {
+	cfl, best float64
+	stall     int
+	cap       float64
+	lows      int
+	fallbacks int
+}
+
+func (st *implicitStepper) saveRamp() rampSnapshot {
+	return rampSnapshot{st.cfl, st.best, st.stall, st.cap, st.lows, st.fallbacks}
+}
+
+func (st *implicitStepper) restoreRamp(r rampSnapshot) {
+	st.cfl, st.best, st.stall, st.cap, st.lows, st.fallbacks = r.cfl, r.best, r.stall, r.cap, r.lows, r.fallbacks
+}
+
+// fallbackCounter is the optional integrator hook the divergence-recovery
+// diagnostics read (Diag.Fallbacks).
+type fallbackCounter interface{ Fallbacks() int }
+
+// Fallbacks returns the cumulative count of implicit lines that fell back
+// to the explicit stage over the run.
+func (st *implicitStepper) Fallbacks() int { return st.fallbacks }
+
+// diag assembles the solver's divergence-recovery diagnostics for a
+// progress callback; refits is supplied by the multilevel driver (a plain
+// march never refits).
+func (s *Solver) diag(refits int) Diag {
+	d := Diag{Refits: refits, Restarts: s.restarts}
+	if fc, ok := s.stepper.(fallbackCounter); ok {
+		d.Fallbacks = fc.Fallbacks()
+	}
+	return d
+}
+
+// Checkpoint captures the solver's state at the current step boundary into
+// a reusable scratch Checkpoint and returns it. Call it only between steps
+// on the marching goroutine — the loops in RunCtx/RunToCtx/SolveMultilevel
+// do this for Options.CheckpointEvery — and encode or copy the result
+// before the next call, which overwrites it. After the first call the fill
+// is allocation-free.
+func (s *Solver) Checkpoint() *Checkpoint {
+	cp := s.ckpt
+	if cp == nil {
+		cp = &Checkpoint{
+			GridX: make([]float64, (s.ni+1)*(s.nj+1)),
+			GridY: make([]float64, (s.ni+1)*(s.nj+1)),
+			U:     make([]float64, 4*s.ni*s.nj),
+		}
+		if s.frzI != nil {
+			cp.FrzI = make([]float64, len(s.frzI))
+			cp.FrzJ = make([]float64, len(s.frzJ))
+		}
+		s.ckpt = cp
+	}
+	cp.Format = CheckpointFormat
+	cp.NI, cp.NJ = s.ni, s.nj
+	cp.Phase = s.phase
+	cp.Step, cp.First, cp.Target = 0, -1, 0
+	cp.FineSteps, cp.Refits, cp.SinceRefit, cp.MarchBest, cp.MarchStalled = 0, 0, 0, 0, 0
+	cp.Restarts = s.restarts
+	nj1 := s.nj + 1
+	for i := 0; i <= s.ni; i++ {
+		copy(cp.GridX[i*nj1:(i+1)*nj1], s.G.X[i])
+		copy(cp.GridY[i*nj1:(i+1)*nj1], s.G.Y[i])
+	}
+	for k := range s.U {
+		copy(cp.U[4*k:4*k+4], s.U[k][:])
+	}
+	cp.CFL, cp.RampBest, cp.RampStall, cp.RampCap, cp.RampLows, cp.Fallbacks = 0, 0, 0, 0, 0, 0
+	if rk, ok := s.stepper.(rampKeeper); ok {
+		r := rk.saveRamp()
+		cp.CFL, cp.RampBest, cp.RampStall = r.cfl, r.best, r.stall
+		cp.RampCap, cp.RampLows, cp.Fallbacks = r.cap, r.lows, r.fallbacks
+	}
+	cp.LimMode, cp.LimFirst = s.limMode, s.limFirst
+	if s.limMode == limFrozen && s.frzI != nil {
+		cp.FrzI = cp.FrzI[:len(s.frzI)]
+		cp.FrzJ = cp.FrzJ[:len(s.frzJ)]
+		copy(cp.FrzI, s.frzI)
+		copy(cp.FrzJ, s.frzJ)
+	} else {
+		// Offsets are only meaningful frozen; an un-frozen march re-records
+		// them deterministically after restore.
+		cp.FrzI = cp.FrzI[:0]
+		cp.FrzJ = cp.FrzJ[:0]
+	}
+	return cp
+}
+
+// Restore overwrites the solver's state from a checkpoint taken by a solver
+// of identical shape and configuration: grid nodes (rebuilding the metrics,
+// so refitted geometry survives), the conserved field, the integrator's
+// ramp state and the limiter latch. The marching loop that runs next picks
+// up the step offset and latched residual via takeResume, continuing the
+// march exactly where the checkpoint left it.
+func (s *Solver) Restore(cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("fvm: restore from nil checkpoint")
+	}
+	if cp.Format != CheckpointFormat {
+		return fmt.Errorf("fvm: restore checkpoint format %d, want %d", cp.Format, CheckpointFormat)
+	}
+	if cp.NI != s.ni || cp.NJ != s.nj {
+		return fmt.Errorf("fvm: restore checkpoint for %dx%d grid onto %dx%d solver", cp.NI, cp.NJ, s.ni, s.nj)
+	}
+	if len(cp.U) != 4*s.ni*s.nj {
+		return fmt.Errorf("fvm: restore checkpoint with %d state floats, want %d", len(cp.U), 4*s.ni*s.nj)
+	}
+	if cp.LimMode == limFrozen {
+		if s.frzI == nil || len(cp.FrzI) != len(s.frzI) || len(cp.FrzJ) != len(s.frzJ) {
+			return fmt.Errorf("fvm: restore frozen-limiter checkpoint without matching offset arrays")
+		}
+	}
+	if len(cp.GridX) > 0 {
+		if err := s.G.RestoreNodes(cp.GridX, cp.GridY); err != nil {
+			return err
+		}
+		s.met = s.G.Metrics()
+	}
+	for k := range s.U {
+		copy(s.U[k][:], cp.U[4*k:4*k+4])
+	}
+	if rk, ok := s.stepper.(rampKeeper); ok && cp.CFL > 0 {
+		rk.restoreRamp(rampSnapshot{cp.CFL, cp.RampBest, cp.RampStall, cp.RampCap, cp.RampLows, cp.Fallbacks})
+	}
+	if s.frzI != nil {
+		s.limFirst = cp.LimFirst
+		s.limMode = cp.LimMode
+		if cp.LimMode == limFrozen {
+			copy(s.frzI, cp.FrzI)
+			copy(s.frzJ, cp.FrzJ)
+		}
+	}
+	s.resumeStep = cp.Step
+	s.resumeFirst = cp.First
+	s.restarts = cp.Restarts + 1
+	return nil
+}
+
+// takeResume consumes the marching-loop offset a Restore installed: the
+// completed-step count to continue from and the latched first residual.
+// Returns (0, -1) when no restore is pending.
+func (s *Solver) takeResume() (start int, first float64) {
+	start, first = s.resumeStep, s.resumeFirst
+	if start == 0 && first == 0 {
+		first = -1
+	}
+	s.resumeStep, s.resumeFirst = 0, 0
+	return start, first
+}
+
+// restoreForPhase applies Options.Restore when it targets the solver's
+// current phase, consuming it so a later loop on the same options cannot
+// re-apply it. Used by the relative-drop marching loops, whose resume needs
+// no external target; the absolute-target paths route restores explicitly
+// (SolveSequenced, SolveMultilevel). A shape or content mismatch falls back
+// to a cold start rather than failing the solve: a checkpoint is an
+// optimization, never a correctness requirement.
+func (s *Solver) restoreForPhase() {
+	cp := s.Opts.Restore
+	if cp == nil || cp.Phase != s.phase {
+		return
+	}
+	s.Opts.Restore = nil
+	_ = s.Restore(cp)
+}
+
+// checkpointNow fills the scratch checkpoint with the loop position and
+// hands it to the sink.
+func (s *Solver) checkpointNow(step int, first, target float64) {
+	cp := s.Checkpoint()
+	cp.Step, cp.First, cp.Target = step, first, target
+	s.Opts.CheckpointSink(cp)
+}
+
+// wantCheckpoints reports whether the marching loops should emit
+// checkpoints at all.
+func (s *Solver) wantCheckpoints() bool {
+	return s.Opts.CheckpointEvery > 0 && s.Opts.CheckpointSink != nil
+}

@@ -39,11 +39,27 @@ const (
 
 // ProgressFunc observes a marching loop: phase names the sequencing stage
 // ("solve" for a plain march, "coarse"/"fine" for a grid-sequenced one),
-// step counts completed time steps within the phase, maxSteps is the
-// phase's step budget and residual is the latest RMS density residual. The
-// callback runs on the marching goroutine after every step, so it must be
-// cheap and must not call back into the solver.
-type ProgressFunc func(phase string, step, maxSteps int, residual float64)
+// step counts completed time steps within the phase (local to this process
+// — a resumed run counts from its restore point), maxSteps is the phase's
+// step budget, residual is the latest RMS density residual and diag carries
+// the divergence-recovery counters. The callback runs on the marching
+// goroutine after every step, so it must be cheap and must not call back
+// into the solver.
+type ProgressFunc func(phase string, step, maxSteps int, residual float64, diag Diag)
+
+// Diag is the divergence-recovery diagnostics a progress callback carries:
+// how hard the solve had to fight to converge, independent of whether it
+// eventually did.
+type Diag struct {
+	// Fallbacks counts implicit lines that diverged and fell back to the
+	// explicit stage over the run so far (implicit integrator only).
+	Fallbacks int
+	// Refits counts mid-march grid refits performed (multilevel solves).
+	Refits int
+	// Restarts counts checkpoint restores applied to reach this state — a
+	// cold solve reports 0, a once-resumed run 1, and so on.
+	Restarts int
+}
 
 // Options configures a Solver.
 type Options struct {
@@ -99,6 +115,23 @@ type Options struct {
 	// Progress, when non-nil, is invoked after every time step of
 	// RunCtx/RunToCtx with the live step count and residual.
 	Progress ProgressFunc
+	// CheckpointEvery, when positive together with CheckpointSink, makes
+	// the marching loops hand a state checkpoint to the sink every
+	// CheckpointEvery completed steps, plus a final one when the march is
+	// cancelled mid-flight (context cancellation or deadline), so the work
+	// done before the cancellation survives. It never changes the solution.
+	CheckpointEvery int
+	// CheckpointSink receives the periodic checkpoints on the marching
+	// goroutine. The *Checkpoint is a per-solver scratch reused between
+	// emissions: encode (Checkpoint.AppendBinary) or deep-copy it before
+	// returning.
+	CheckpointSink func(*Checkpoint)
+	// Restore, when non-nil, resumes the march from the checkpoint instead
+	// of from freestream: the loop whose phase matches Restore.Phase
+	// reloads the saved state and continues at the saved step. A checkpoint
+	// that does not fit (wrong shape or phase) is ignored and the solve
+	// starts cold — restoring is an optimization, never a requirement.
+	Restore *Checkpoint
 }
 
 // Solver marches the finite-volume equations to steady state.
@@ -164,6 +197,14 @@ type Solver struct {
 	pInf      Prim
 	ni, nj    int
 	closeOnce sync.Once
+
+	// Checkpoint/restore state: the reusable scratch Checkpoint fills, the
+	// pending loop offset a Restore installs (consumed by takeResume), and
+	// the cumulative restore count reported in Diag.
+	ckpt        *Checkpoint
+	resumeStep  int
+	resumeFirst float64
+	restarts    int
 }
 
 // New builds a solver on grid g with options o and initializes every cell to

@@ -282,7 +282,7 @@ func TestImplicitStepCountAdvantage(t *testing.T) {
 		s := viscousCase(t, ts, CFLRamp{})
 		defer s.Close()
 		steps := 0
-		s.Opts.Progress = func(phase string, step, maxSteps int, residual float64) { steps = step }
+		s.Opts.Progress = func(phase string, step, maxSteps int, residual float64, diag Diag) { steps = step }
 		if _, err := s.Run(6000, 5e-4); err != nil {
 			t.Fatalf("%s: %v", ts, err)
 		}

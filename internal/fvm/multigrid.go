@@ -49,6 +49,17 @@ func SolveMultilevel(ctx context.Context, g *grid.Grid2D, o Options, maxSteps in
 		return nil, 0, err
 	}
 
+	// A finest-level checkpoint carries the absolute target and the refit
+	// bookkeeping, so the entire coarse cascade is skipped on resume: build
+	// only the finest solver, restore it (refitted grid nodes included) and
+	// continue the march. Any restore failure falls through to a cold solve.
+	if cp := o.Restore; cp != nil && cp.Phase == "level0" && cp.NI == g.NI && cp.NJ == g.NJ && cp.Target > 0 {
+		o.Restore = nil
+		if s, res, err, ok := resumeMultilevel(ctx, g, o, maxSteps, dropTol, sq, cp); ok {
+			return s, res, err
+		}
+	}
+
 	// Build the grid hierarchy by chained coarsening, dropping levels the
 	// grid cannot reach.
 	grids := []*grid.Grid2D{g}
@@ -89,6 +100,44 @@ func SolveMultilevel(ctx context.Context, g *grid.Grid2D, o Options, maxSteps in
 		return nil, 0, err
 	}
 	return m.solvers[0], res, nil
+}
+
+// resumeMultilevel continues a multilevel solve from a finest-level
+// checkpoint: only the finest solver exists (the coarse hierarchy already
+// did its work before the checkpoint), and the march picks up the saved
+// refit bookkeeping. A V-cycle solve resumes as a pure finest-level march —
+// the cycles' coarse corrections have largely converged by the time
+// checkpoints are being cut, and rebuilding the hierarchy mid-state would
+// risk diverging from the uninterrupted trajectory. ok reports whether the
+// checkpoint was applied; on false the caller solves cold.
+func resumeMultilevel(ctx context.Context, g *grid.Grid2D, o Options, maxSteps int, dropTol float64, sq SequenceOptions, cp *Checkpoint) (*Solver, float64, error, bool) {
+	s, err := New(g, o)
+	if err != nil {
+		return nil, 0, nil, false
+	}
+	s.phase = "level0"
+	if err := s.Restore(cp); err != nil {
+		s.Close()
+		return nil, 0, nil, false
+	}
+	s.takeResume() // marchFinest tracks position via fineSteps, not a loop offset
+	m := &multilevel{
+		o: o, sq: sq, maxSteps: maxSteps, dropTol: dropTol,
+		solvers:   []*Solver{s},
+		steps:     []int{0},
+		fineSteps: cp.FineSteps,
+		refits:    cp.Refits,
+	}
+	best := math.Inf(1)
+	if cp.MarchBest > 0 {
+		best = cp.MarchBest
+	}
+	res, err := m.marchFinestFrom(ctx, cp.Target, -1, cp.SinceRefit, best, cp.MarchStalled)
+	if err != nil {
+		s.Close()
+		return nil, 0, err, true
+	}
+	return s, res, nil, true
 }
 
 // validateMultilevel fail-fast checks the multilevel knobs.
@@ -282,17 +331,27 @@ const (
 // grid every RefitEvery steps when configured. lastRes is the residual of a
 // step already taken by the caller (-1 when none).
 func (m *multilevel) marchFinest(ctx context.Context, target, lastRes float64) (float64, error) {
+	return m.marchFinestFrom(ctx, target, lastRes, 0, math.Inf(1), 0)
+}
+
+// marchFinestFrom is marchFinest continuing from saved refit bookkeeping —
+// the checkpoint-resume entry point (resumeMultilevel); the cold march
+// starts it at the zero position. With checkpointing configured it emits a
+// finest-level checkpoint every CheckpointEvery fine steps, plus a final
+// one when the context cancels the march mid-flight.
+func (m *multilevel) marchFinestFrom(ctx context.Context, target, lastRes float64, sinceRefit int, best float64, stalled int) (float64, error) {
 	s := m.solvers[0]
 	res := lastRes
 	if res >= 0 && res < target {
 		return res, nil
 	}
-	sinceRefit := 0
-	best := math.Inf(1)
-	stalled := 0
+	ckpt := m.o.CheckpointEvery > 0 && m.o.CheckpointSink != nil
 	for m.fineSteps < m.maxSteps {
 		if m.fineSteps%16 == 0 {
 			if err := ctx.Err(); err != nil {
+				if ckpt {
+					m.checkpointFinest(target, sinceRefit, best, stalled)
+				}
 				return res, err
 			}
 		}
@@ -306,6 +365,9 @@ func (m *multilevel) marchFinest(ctx context.Context, target, lastRes float64) (
 		}
 		if res < target {
 			return res, nil
+		}
+		if ckpt && m.fineSteps%m.o.CheckpointEvery == 0 {
+			m.checkpointFinest(target, sinceRefit, best, stalled)
 		}
 		if m.sq.RefitEvery > 0 {
 			if res < refitStallDrop*best {
@@ -462,7 +524,25 @@ func (m *multilevel) progress(l int, res float64) {
 	if l == 0 {
 		budget = m.maxSteps
 	}
-	m.o.Progress(m.solvers[l].phase, m.steps[l], budget, res)
+	m.o.Progress(m.solvers[l].phase, m.steps[l], budget, res, m.solvers[l].diag(m.refits))
+}
+
+// checkpointFinest emits a finest-level checkpoint carrying the march's
+// absolute target and refit bookkeeping, so resumeMultilevel can continue
+// the march without re-running the cascade.
+func (m *multilevel) checkpointFinest(target float64, sinceRefit int, best float64, stalled int) {
+	s := m.solvers[0]
+	cp := s.Checkpoint()
+	cp.Step = m.fineSteps
+	cp.Target = target
+	cp.FineSteps = m.fineSteps
+	cp.Refits = m.refits
+	cp.SinceRefit = sinceRefit
+	if !math.IsInf(best, 1) {
+		cp.MarchBest = best
+	}
+	cp.MarchStalled = stalled
+	m.o.CheckpointSink(cp)
 }
 
 // restrictFAS restricts the fine state onto the coarse level and installs

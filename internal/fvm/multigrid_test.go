@@ -51,7 +51,7 @@ func TestSolveMultilevelMatchesFine(t *testing.T) {
 func TestSolveMultilevelPhasesAndAutoDrop(t *testing.T) {
 	g, o := seqCase(t)
 	phases := map[string]bool{}
-	o.Progress = func(phase string, step, maxSteps int, residual float64) { phases[phase] = true }
+	o.Progress = func(phase string, step, maxSteps int, residual float64, diag Diag) { phases[phase] = true }
 	s, _, err := SolveMultilevel(context.Background(), g, o, 4000, 1e-3, SequenceOptions{Levels: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestSolveMultilevelPhasesAndAutoDrop(t *testing.T) {
 func TestSolveSequencedDispatch(t *testing.T) {
 	g, o := seqCase(t)
 	phases := map[string]bool{}
-	o.Progress = func(phase string, step, maxSteps int, residual float64) { phases[phase] = true }
+	o.Progress = func(phase string, step, maxSteps int, residual float64, diag Diag) { phases[phase] = true }
 	s, _, err := SolveSequenced(context.Background(), g, o, 4000, 1e-3, SequenceOptions{})
 	if err != nil {
 		t.Fatal(err)

@@ -65,7 +65,7 @@ func TestRunProgressCallback(t *testing.T) {
 	var steps []int
 	var phases []string
 	var lastRes float64
-	o.Progress = func(phase string, step, maxSteps int, residual float64) {
+	o.Progress = func(phase string, step, maxSteps int, residual float64, diag Diag) {
 		if maxSteps != 50 {
 			t.Fatalf("maxSteps %d want 50", maxSteps)
 		}
@@ -102,7 +102,7 @@ func TestRunProgressCallback(t *testing.T) {
 func TestSequencedProgressPhases(t *testing.T) {
 	g, o := seqCase(t)
 	var phases []string
-	o.Progress = func(phase string, step, maxSteps int, residual float64) {
+	o.Progress = func(phase string, step, maxSteps int, residual float64, diag Diag) {
 		phases = append(phases, phase)
 	}
 	s, _, err := SolveSequenced(context.Background(), g, o, 2000, 1e-2, SequenceOptions{})

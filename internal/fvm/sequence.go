@@ -86,6 +86,25 @@ func SolveSequenced(ctx context.Context, g *grid.Grid2D, o Options, maxSteps int
 		return SolveMultilevel(ctx, g, o, maxSteps, dropTol, sq)
 	}
 	sq = sq.withDefaults(maxSteps)
+	// A fine-phase checkpoint carries its own absolute target, so the whole
+	// coarse stage and the calibration step are skipped: restore the fine
+	// state (refitted grid nodes included) and continue the march. Any
+	// restore failure falls through to a cold solve.
+	if cp := o.Restore; cp != nil && cp.Phase == "fine" && cp.NI == g.NI && cp.NJ == g.NJ {
+		o.Restore = nil
+		if fine, err := New(g, o); err == nil {
+			fine.phase = "fine"
+			if err := fine.Restore(cp); err == nil {
+				res, err := fine.RunToCtx(ctx, maxSteps, cp.Target)
+				if err != nil {
+					fine.Close()
+					return nil, 0, err
+				}
+				return fine, res, nil
+			}
+			fine.Close()
+		}
+	}
 	cg, err := g.Coarsen(sq.Coarsen)
 	if err != nil {
 		// Grid too small (or hand-built): sequencing buys nothing, solve fine.

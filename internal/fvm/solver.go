@@ -416,24 +416,32 @@ func (s *Solver) Run(maxSteps int, dropTol float64) (float64, error) {
 }
 
 // RunCtx is Run with cooperative cancellation: the context is polled every
-// few time steps and a cancellation aborts the march with ctx.Err().
+// few time steps and a cancellation aborts the march with ctx.Err() —
+// after emitting a final checkpoint when checkpointing is configured, so a
+// drained or deadlined solve resumes instead of restarting. A pending
+// Options.Restore whose phase matches resumes the march at its saved step.
 func (s *Solver) RunCtx(ctx context.Context, maxSteps int, dropTol float64) (float64, error) {
 	if maxSteps <= 0 {
 		maxSteps = 2000
 	}
-	first := -1.0
+	s.restoreForPhase()
+	start, first := s.takeResume()
+	ckpt := s.wantCheckpoints()
 	res := 0.0
-	for n := 0; n < maxSteps; n++ {
+	for n := start; n < maxSteps; n++ {
 		if n%16 == 0 {
 			select {
 			case <-ctx.Done():
+				if ckpt && n > start {
+					s.checkpointNow(n, first, 0)
+				}
 				return res, ctx.Err()
 			default:
 			}
 		}
 		res = s.Step()
 		if s.Opts.Progress != nil {
-			s.Opts.Progress(s.phase, n+1, maxSteps, res)
+			s.Opts.Progress(s.phase, n+1-start, maxSteps, res, s.diag(0))
 		}
 		if math.IsNaN(res) {
 			return res, fmt.Errorf("fvm: residual NaN at step %d", n)
@@ -443,6 +451,9 @@ func (s *Solver) RunCtx(ctx context.Context, maxSteps int, dropTol float64) (flo
 		}
 		if first > 0 && res < first*dropTol {
 			return res, nil
+		}
+		if ckpt && (n+1)%s.Opts.CheckpointEvery == 0 {
+			s.checkpointNow(n+1, first, 0)
 		}
 	}
 	return res, nil
@@ -456,24 +467,32 @@ func (s *Solver) RunToCtx(ctx context.Context, maxSteps int, target float64) (fl
 	if maxSteps <= 0 {
 		maxSteps = 2000
 	}
+	start, _ := s.takeResume()
+	ckpt := s.wantCheckpoints()
 	res := 0.0
-	for n := 0; n < maxSteps; n++ {
+	for n := start; n < maxSteps; n++ {
 		if n%16 == 0 {
 			select {
 			case <-ctx.Done():
+				if ckpt && n > start {
+					s.checkpointNow(n, -1, target)
+				}
 				return res, ctx.Err()
 			default:
 			}
 		}
 		res = s.Step()
 		if s.Opts.Progress != nil {
-			s.Opts.Progress(s.phase, n+1, maxSteps, res)
+			s.Opts.Progress(s.phase, n+1-start, maxSteps, res, s.diag(0))
 		}
 		if math.IsNaN(res) {
 			return res, fmt.Errorf("fvm: residual NaN at step %d", n)
 		}
 		if res < target {
 			return res, nil
+		}
+		if ckpt && (n+1)%s.Opts.CheckpointEvery == 0 {
+			s.checkpointNow(n+1, -1, target)
 		}
 	}
 	return res, nil

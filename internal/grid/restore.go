@@ -1,0 +1,27 @@
+package grid
+
+import "fmt"
+
+// RestoreNodes overwrites the grid's node coordinates from flattened
+// row-major arrays (node (i, j) at index i*(NJ+1)+j) and invalidates the
+// cached metrics, so the next Metrics call rebuilds them from the restored
+// geometry. It is the checkpoint-restore counterpart of Refit: a march that
+// re-fitted its outer boundary mid-solve checkpoints the refitted node
+// positions, and a restore must reproduce them exactly — regenerating the
+// grid from the stored standoff function would not, because the function is
+// not serializable. The generation parameters (body, clustering, arc range)
+// are kept, so the restored grid can still be re-fitted or coarsened.
+func (g *Grid2D) RestoreNodes(x, y []float64) error {
+	want := (g.NI + 1) * (g.NJ + 1)
+	if len(x) != want || len(y) != want {
+		return fmt.Errorf("grid: RestoreNodes needs %d nodes per coordinate, got %d/%d", want, len(x), len(y))
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := 0; i <= g.NI; i++ {
+		copy(g.X[i], x[i*(g.NJ+1):(i+1)*(g.NJ+1)])
+		copy(g.Y[i], y[i*(g.NJ+1):(i+1)*(g.NJ+1)])
+	}
+	g.metrics = nil
+	return nil
+}

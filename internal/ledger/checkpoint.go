@@ -1,0 +1,288 @@
+package ledger
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cataero/internal/faultinject"
+)
+
+// This file adds partial-run entries to the ledger: the latest resumable
+// solver checkpoint of an in-flight (or interrupted) solve, stored beside
+// the result it will eventually produce under the same canonical CaseKey —
+// `<root>/<shard>/<key>.ckpt` next to `<key>.json`. A restarted server or
+// CLI looks the checkpoint up by the same key it would use for the result,
+// and resumes the march instead of re-solving from step 0; once the result
+// lands, the checkpoint is deleted.
+//
+// Checkpoint files get the same crash-safety treatment as entries — atomic
+// temp+fsync+rename writes, verify-on-read with quarantine — because a torn
+// checkpoint must never be resumed from (the solver's own decoder would
+// also refuse it; the ledger layer refusing first keeps the corruption
+// counters honest).
+
+// Checkpoint is one stored partial run.
+type Checkpoint struct {
+	Format int    `json:"format"`
+	Key    string `json:"key"`
+	// Spec is the canonical case JSON of the run (core.CanonicalJSON), so a
+	// restarted service can reconstruct and re-submit the problem from the
+	// checkpoint alone.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Step is the completed-step count the checkpoint resumes at (display
+	// only; the authoritative position travels inside Data).
+	Step    int       `json:"step,omitempty"`
+	Solver  string    `json:"solver,omitempty"`  // registry name of the executing solver
+	Version string    `json:"version,omitempty"` // toolkit version that wrote the checkpoint
+	Created time.Time `json:"created"`
+	// Data is the encoded solver checkpoint (fvm.Checkpoint.AppendBinary),
+	// base64 in the JSON encoding.
+	Data []byte `json:"data"`
+	// Checksum is the hex SHA-256 of Data, verified on every read.
+	Checksum string `json:"checksum"`
+}
+
+// ckptPath maps a key to its checkpoint file, sharded like entries.
+func (l *Ledger) ckptPath(key string) string {
+	return filepath.Join(l.dir, key[:2], key+".ckpt")
+}
+
+// PutCheckpoint stores (replacing) the partial-run checkpoint for a key,
+// with the same atomic write discipline as Put. Fault-injection points:
+// "ledger.put-checkpoint" fails the write, "ledger.checkpoint-data" mangles
+// the file bytes (simulating a torn write that the next read must catch).
+func (l *Ledger) PutCheckpoint(c *Checkpoint) error {
+	if c == nil || !validKey(c.Key) {
+		return errors.New("ledger: put checkpoint: invalid key")
+	}
+	if len(c.Data) == 0 {
+		return errors.New("ledger: put checkpoint: empty data")
+	}
+	if err := faultinject.Fire("ledger.put-checkpoint"); err != nil {
+		return fmt.Errorf("ledger: put checkpoint %s: %w", c.Key, err)
+	}
+	stored := *c
+	stored.Format = FormatVersion
+	stored.Checksum = checksum(stored.Data)
+	if stored.Created.IsZero() {
+		stored.Created = time.Now().UTC()
+	}
+	data, err := json.Marshal(&stored)
+	if err != nil {
+		return fmt.Errorf("ledger: put checkpoint %s: %w", c.Key, err)
+	}
+	data = faultinject.Mangle("ledger.checkpoint-data", data)
+
+	dst := l.ckptPath(stored.Key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("ledger: put checkpoint %s: %w", c.Key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+stored.Key[:8]+".tmp-")
+	if err != nil {
+		return fmt.Errorf("ledger: put checkpoint %s: %w", c.Key, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ledger: put checkpoint %s: %w", c.Key, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ledger: put checkpoint %s: %w", c.Key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ledger: put checkpoint %s: %w", c.Key, err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return fmt.Errorf("ledger: put checkpoint %s: %w", c.Key, err)
+	}
+	return nil
+}
+
+// GetCheckpoint returns the stored partial-run checkpoint for a key, or nil
+// when there is none. Damage — torn file, wrong key, checksum mismatch —
+// quarantines the file and reports a miss, exactly like Get: a resumable
+// state that cannot be verified is worth less than a cold start. A foreign
+// format version is a plain miss.
+func (l *Ledger) GetCheckpoint(key string) (*Checkpoint, error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("ledger: invalid key %q", key)
+	}
+	data, err := os.ReadFile(l.ckptPath(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ledger: get checkpoint %s: %w", key, err)
+	}
+	c, err := decodeCheckpoint(data, key)
+	if err != nil {
+		l.corrupt.Add(1)
+		_ = os.Remove(l.ckptPath(key))
+		return nil, nil
+	}
+	if c == nil {
+		return nil, nil
+	}
+	// Best-effort access bump so size-budget GC evicts cold checkpoints
+	// first (see GCSize).
+	now := time.Now()
+	_ = os.Chtimes(l.ckptPath(key), now, now)
+	return c, nil
+}
+
+// decodeCheckpoint parses and verifies one checkpoint file, with the same
+// contract as decodeEntry: (nil, nil) for a foreign format, an error for
+// damage that warrants quarantine.
+func decodeCheckpoint(data []byte, wantKey string) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	if c.Format != FormatVersion {
+		return nil, nil
+	}
+	if wantKey != "" && c.Key != wantKey {
+		return nil, fmt.Errorf("ledger: checkpoint key %q under file for %q", c.Key, wantKey)
+	}
+	if len(c.Data) == 0 || c.Checksum != checksum(c.Data) {
+		return nil, errors.New("ledger: checkpoint checksum mismatch")
+	}
+	return &c, nil
+}
+
+// DeleteCheckpoint removes the partial-run checkpoint for a key (normally
+// called right after the run's result lands). Absent keys are not an error.
+func (l *Ledger) DeleteCheckpoint(key string) error {
+	if !validKey(key) {
+		return fmt.Errorf("ledger: invalid key %q", key)
+	}
+	err := os.Remove(l.ckptPath(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Checkpoints decodes every valid stored partial-run checkpoint, sorted by
+// key — the restart-recovery scan a server runs to find interrupted work.
+// Damaged files are skipped (the next GetCheckpoint quarantines them).
+func (l *Ledger) Checkpoints() ([]*Checkpoint, error) {
+	var out []*Checkpoint
+	err := l.walkCkpt(func(key, path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil // racing deletion
+		}
+		if c, err := decodeCheckpoint(data, key); err == nil && c != nil {
+			out = append(out, c)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// walkCkpt visits every plausible checkpoint file as (key, path).
+func (l *Ledger) walkCkpt(visit func(key, path string) error) error {
+	shards, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(l.dir, shard.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			key, ok := strings.CutSuffix(f.Name(), ".ckpt")
+			if !ok || !validKey(key) || key[:2] != shard.Name() {
+				continue
+			}
+			if err := visit(key, filepath.Join(l.dir, shard.Name(), f.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// gcFile is one eviction candidate of a size-budget sweep.
+type gcFile struct {
+	path  string
+	size  int64
+	mtime time.Time
+	ckpt  bool
+}
+
+// GCSize evicts stored files until the ledger's total size (entries plus
+// checkpoints) fits maxBytes, least-recently-accessed first with every
+// checkpoint considered before any result entry — a checkpoint only saves
+// part of a solve, a result saves all of it. Reads bump mtimes (see Get /
+// GetCheckpoint), so mtime order approximates LRU. Returns how many files
+// were removed and the bytes freed. maxBytes <= 0 evicts everything.
+func (l *Ledger) GCSize(maxBytes int64) (removed int, freed int64, err error) {
+	var files []gcFile
+	var total int64
+	shards, err := os.ReadDir(l.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("ledger: gc-size: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		dir := filepath.Join(l.dir, shard.Name())
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, f := range ents {
+			isJSON := strings.HasSuffix(f.Name(), ".json")
+			isCkpt := strings.HasSuffix(f.Name(), ".ckpt")
+			if !isJSON && !isCkpt {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			total += info.Size()
+			files = append(files, gcFile{
+				path: filepath.Join(dir, f.Name()), size: info.Size(),
+				mtime: info.ModTime(), ckpt: isCkpt,
+			})
+		}
+	}
+	// Checkpoints strictly before entries; oldest access first within each.
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].ckpt != files[j].ckpt {
+			return files[i].ckpt
+		}
+		return files[i].mtime.Before(files[j].mtime)
+	})
+	for _, f := range files {
+		if total <= maxBytes {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			removed++
+			freed += f.size
+			total -= f.size
+		}
+	}
+	return removed, freed, nil
+}

@@ -36,6 +36,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"cataero/internal/faultinject"
 )
 
 // FormatVersion is the on-disk entry schema version. Entries written with a
@@ -170,6 +172,10 @@ func (l *Ledger) Get(key string) (*Entry, error) {
 		return nil, nil
 	}
 	l.hits.Add(1)
+	// Best-effort access bump: GCSize evicts oldest-mtime first, so a hit
+	// keeps a hot entry out of the next size-budget sweep.
+	now := time.Now()
+	_ = os.Chtimes(l.path(key), now, now)
 	return e, nil
 }
 
@@ -204,6 +210,9 @@ func (l *Ledger) Put(e *Entry) error {
 	}
 	if len(e.Result) == 0 {
 		return errors.New("ledger: put: empty result")
+	}
+	if err := faultinject.Fire("ledger.put"); err != nil {
+		return fmt.Errorf("ledger: put %s: %w", e.Key, err)
 	}
 	stored := *e
 	stored.Format = FormatVersion
@@ -320,10 +329,11 @@ func (l *Ledger) walk(visit func(key, path string) error) error {
 	return nil
 }
 
-// GC removes entries created before the cutoff (a zero cutoff keeps all
-// entries) plus any abandoned temp files from crashed writers, and reports
-// how many entries it removed. Entries that fail verification are removed
-// regardless of age — they could never be served.
+// GC removes entries and partial-run checkpoints created before the cutoff
+// (a zero cutoff keeps all of them) plus any abandoned temp files from
+// crashed writers, and reports how many files it removed. Files that fail
+// verification are removed regardless of age — they could never be served
+// or resumed from.
 func (l *Ledger) GC(before time.Time) (removed int, err error) {
 	shards, err := os.ReadDir(l.dir)
 	if err != nil {
@@ -346,6 +356,20 @@ func (l *Ledger) GC(before time.Time) (removed int, err error) {
 				// so only clearly abandoned files are swept.
 				if info, err := f.Info(); err == nil && time.Since(info.ModTime()) > time.Minute {
 					_ = os.Remove(path)
+				}
+				continue
+			}
+			if key, ok := strings.CutSuffix(f.Name(), ".ckpt"); ok && validKey(key) {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					continue
+				}
+				c, derr := decodeCheckpoint(data, key)
+				expired := derr == nil && c != nil && !before.IsZero() && c.Created.Before(before)
+				if derr != nil || expired {
+					if os.Remove(path) == nil {
+						removed++
+					}
 				}
 				continue
 			}

@@ -56,6 +56,17 @@ type Case struct {
 	// fvm.SolveSequenced / fvm.SolveMultilevel and the Levels, Cycle and
 	// RefitEvery fields of fvm.SequenceOptions).
 	Sequence *fvm.SequenceOptions
+	// CheckpointEvery, when positive, emits a solver-state checkpoint every
+	// CheckpointEvery steps through CheckpointSink (see
+	// fvm.Options.CheckpointEvery).
+	CheckpointEvery int
+	// CheckpointSink receives each emitted checkpoint; the argument is
+	// solver-owned scratch, encode before returning.
+	CheckpointSink func(*fvm.Checkpoint)
+	// Restore, when non-nil, resumes the solve from a checkpoint captured by
+	// an earlier run of the same case; mismatched checkpoints are ignored
+	// and the solve starts cold.
+	Restore *fvm.Checkpoint
 	// Pool, when non-nil, is a shared worker pool for the finite-volume
 	// sweeps (see fvm.Options.Pool); nil gives the solve a private pool.
 	Pool *fvm.Pool
@@ -127,6 +138,10 @@ func Solve(ctx context.Context, c Case) (*Result, error) {
 		Progress:      c.Progress,
 
 		FreezeLimiterAt: c.FreezeLimiterAt,
+
+		CheckpointEvery: c.CheckpointEvery,
+		CheckpointSink:  c.CheckpointSink,
+		Restore:         c.Restore,
 	}
 	const dropTol = 5e-4
 	var s *fvm.Solver

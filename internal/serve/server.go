@@ -25,18 +25,34 @@
 //
 // Requests authenticate a client (for quota accounting only) with the
 // X-API-Key header, and pick an admission lane with X-Priority: low,
-// normal (default) or high.
+// normal (default) or high. X-Deadline-Ms bounds one solve's wall clock:
+// a run that exceeds it is checkpointed and cancelled. Cached submissions
+// carry an ETag (the result checksum); If-None-Match returns 304 without
+// re-reading the artifact.
+//
+// # Fault tolerance
+//
+// With a ledger and a checkpoint cadence configured, in-flight solves
+// periodically persist resumable checkpoints under their case key. Drain
+// (SIGTERM in `catsim serve`) rejects new admissions with 503 + Retry-After,
+// checkpoints and cancels in-flight runs, and Recover on the next start
+// re-submits interrupted runs from their checkpoints, so a restarted server
+// continues long solves instead of repeating them.
 package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cataero"
@@ -59,6 +75,12 @@ type Config struct {
 	QuotaRate float64
 	// QuotaBurst is the token-bucket depth (default 1 when limiting).
 	QuotaBurst int
+	// CheckpointEvery, when positive (and a Ledger is configured), makes
+	// every executed solve persist a resumable checkpoint to the ledger
+	// every CheckpointEvery steps, and makes new solves resume from any
+	// valid checkpoint already stored under their case key. A case spec's
+	// own checkpoint_every takes precedence over this default.
+	CheckpointEvery int
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -84,10 +106,15 @@ type Server struct {
 	ctx    context.Context // lifetime of background solves
 	cancel context.CancelFunc
 
+	// draining rejects new admissions (503 + Retry-After) while the server
+	// checkpoints and stops its in-flight runs (see Drain).
+	draining atomic.Bool
+
 	mu     sync.Mutex
 	runs   map[string]*srvRun // by ID
 	byKey  map[string]*srvRun // in-flight only: coalesces duplicate submissions
 	order  []*srvRun          // submission order, for listing and eviction
+	etags  map[string]string  // case key -> result checksum, for If-None-Match
 	nextID uint64
 }
 
@@ -103,6 +130,7 @@ type srvRun struct {
 	spec     json.RawMessage // canonical case JSON (the hashed bytes)
 	problem  cataero.Problem
 	cancel   context.CancelFunc
+	deadline time.Duration // per-request solve bound (X-Deadline-Ms); 0 = none
 	admitted chan struct{}
 	done     chan struct{}
 
@@ -128,6 +156,7 @@ func New(cfg Config) (*Server, error) {
 		cancel: cancel,
 		runs:   make(map[string]*srvRun),
 		byKey:  make(map[string]*srvRun),
+		etags:  make(map[string]string),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /api/runs", s.handleSubmit)
@@ -208,10 +237,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // submission is one parsed, keyed case ready for admission.
 type submission struct {
-	problem cataero.Problem
-	key     string
-	spec    json.RawMessage
-	name    string
+	problem  cataero.Problem
+	key      string
+	spec     json.RawMessage
+	name     string
+	deadline time.Duration
 }
 
 // prepare normalizes a problem against the session and computes its
@@ -233,7 +263,7 @@ func (s *Server) prepare(p cataero.Problem) (submission, error) {
 }
 
 // lookupLedger returns the cached view for a key, when the ledger holds a
-// valid entry.
+// valid entry, caching the entry checksum as the key's ETag.
 func (s *Server) lookupLedger(key string) *runView {
 	if s.cfg.Ledger == nil {
 		return nil
@@ -242,6 +272,7 @@ func (s *Server) lookupLedger(key string) *runView {
 	if err != nil || e == nil {
 		return nil
 	}
+	s.setEtag(key, e.Checksum)
 	return &runView{
 		Key:        e.Key,
 		State:      cataero.RunDone.String(),
@@ -254,8 +285,78 @@ func (s *Server) lookupLedger(key string) *runView {
 	}
 }
 
+// setEtag records the result checksum serving as a key's ETag.
+func (s *Server) setEtag(key, sum string) {
+	if sum == "" {
+		return
+	}
+	s.mu.Lock()
+	s.etags[key] = sum
+	s.mu.Unlock()
+}
+
+// etagFor returns the cached ETag for a key ("" when unknown).
+func (s *Server) etagFor(key string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.etags[key]
+}
+
+// etagMatches reports whether an If-None-Match header value matches the
+// tag: the wildcard, or any member of the comma-separated list (quotes and
+// weak-validator prefixes ignored — the checksum identifies the bytes).
+func etagMatches(header, tag string) bool {
+	if header == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		part = strings.Trim(part, `"`)
+		if part == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// notModified answers a conditional request from the ETag cache alone —
+// no ledger read — when the client already holds the current result.
+func (s *Server) notModified(w http.ResponseWriter, r *http.Request, key string) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	tag := s.etagFor(key)
+	if tag == "" || !etagMatches(inm, tag) {
+		return false
+	}
+	w.Header().Set("ETag", `"`+tag+`"`)
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
+// rejectDraining answers a submission with 503 + Retry-After while the
+// server is shutting down.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", "10")
+	writeError(w, http.StatusServiceUnavailable, "server is draining; retry shortly")
+	return true
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	lane, err := parsePriority(r.Header.Get("X-Priority"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	deadline, err := parseDeadline(r.Header.Get("X-Deadline-Ms"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -271,8 +372,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sub.deadline = deadline
 
+	if s.notModified(w, r, sub.key) {
+		return
+	}
 	if hit := s.lookupLedger(sub.key); hit != nil {
+		if tag := s.etagFor(sub.key); tag != "" {
+			w.Header().Set("ETag", `"`+tag+`"`)
+		}
 		writeJSON(w, http.StatusOK, hit)
 		return
 	}
@@ -283,6 +391,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respondRun(w, r, sr, coalesced)
+}
+
+// parseDeadline parses the X-Deadline-Ms header ("" = no deadline).
+func parseDeadline(h string) (time.Duration, error) {
+	if h == "" {
+		return 0, nil
+	}
+	ms, err := strconv.Atoi(h)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("X-Deadline-Ms %q: want a positive integer of milliseconds", h)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
 }
 
 // clientKey identifies the quota account of a request.
@@ -302,16 +422,19 @@ func retryAfterError(w http.ResponseWriter, retryAfter time.Duration) {
 
 // admit registers a new run for the submission — or coalesces onto an
 // identical in-flight one — charging the client's quota only for genuinely
-// new solves. A nil run means the quota rejected the submission.
+// new solves. A nil run means the quota rejected the submission. The empty
+// client is the server itself (restart recovery) and is never quota-charged.
 func (s *Server) admit(sub submission, lane priority, client string) (sr *srvRun, coalesced bool, retryAfter time.Duration) {
 	s.mu.Lock()
 	if existing := s.byKey[sub.key]; existing != nil {
 		s.mu.Unlock()
 		return existing, true, 0
 	}
-	if ok, wait := s.quo.take(client, time.Now()); !ok {
-		s.mu.Unlock()
-		return nil, false, wait
+	if client != "" {
+		if ok, wait := s.quo.take(client, time.Now()); !ok {
+			s.mu.Unlock()
+			return nil, false, wait
+		}
 	}
 	ctx, cancel := context.WithCancel(s.ctx)
 	s.nextID++
@@ -324,6 +447,7 @@ func (s *Server) admit(sub submission, lane priority, client string) (sr *srvRun
 		spec:     sub.spec,
 		problem:  sub.problem,
 		cancel:   cancel,
+		deadline: sub.deadline,
 		admitted: make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -362,7 +486,9 @@ func (s *Server) evictLocked() {
 }
 
 // execute runs one admitted solve to completion: lane gate, session
-// submission, ledger write-back.
+// submission, ledger write-back. With checkpointing configured, the solve
+// persists resumable checkpoints under its case key, resumes from a stored
+// one when present, and drops the checkpoint once the result lands.
 func (s *Server) execute(ctx context.Context, sr *srvRun) {
 	defer close(sr.done)
 	if err := s.adm.acquire(ctx, sr.lane); err != nil {
@@ -372,7 +498,14 @@ func (s *Server) execute(ctx context.Context, sr *srvRun) {
 	}
 	defer s.adm.release()
 
-	run := s.cfg.Session.Submit(ctx, sr.problem)
+	if sr.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sr.deadline)
+		defer cancel()
+	}
+	p := s.installCheckpointing(sr.problem, sr)
+
+	run := s.cfg.Session.Submit(ctx, p)
 	sr.run = run
 	close(sr.admitted)
 
@@ -406,13 +539,66 @@ func (s *Server) execute(ctx context.Context, sr *srvRun) {
 			ElapsedMS: float64(sr.finalSnap.Elapsed) / float64(time.Millisecond),
 		}
 		if err := s.cfg.Ledger.Put(entry); err != nil {
+			// A failing ledger (full or read-only disk) degrades the server
+			// to cache-less operation; the solve itself still succeeded.
 			s.logf("serve: ledger put %s: %v", sr.key, err)
+		} else {
+			s.setEtag(sr.key, hexSum(result))
+			// The result supersedes any partial-run checkpoint.
+			if err := s.cfg.Ledger.DeleteCheckpoint(sr.key); err != nil {
+				s.logf("serve: drop checkpoint %s: %v", sr.key, err)
+			}
 		}
 	}
 	// Unkey only after the ledger write: a submission arriving in between
 	// either coalesces onto this run or hits the fresh entry — never both
 	// misses into a duplicate solve.
 	s.unkey(sr)
+}
+
+// hexSum is the ledger's result digest (the entry Checksum / ETag).
+func hexSum(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// installCheckpointing wires a run's problem to the ledger's partial-run
+// store: a sink persisting each emitted checkpoint under the case key, and
+// a restore from the newest valid stored checkpoint. No ledger or no
+// cadence leaves the problem untouched. Sink failures are logged and
+// dropped — checkpoint persistence must never fail a run.
+func (s *Server) installCheckpointing(p cataero.Problem, sr *srvRun) cataero.Problem {
+	if s.cfg.Ledger == nil {
+		return p
+	}
+	if p.CheckpointEvery == 0 {
+		p.CheckpointEvery = s.cfg.CheckpointEvery
+	}
+	if p.CheckpointEvery <= 0 {
+		return p
+	}
+	lg := s.cfg.Ledger
+	p.CheckpointSink = func(cp *cataero.Checkpoint) {
+		data, err := cp.AppendBinary(nil)
+		if err != nil {
+			s.logf("serve: encode checkpoint %s: %v", sr.key, err)
+			return
+		}
+		err = lg.PutCheckpoint(&ledger.Checkpoint{
+			Key: sr.key, Spec: sr.spec, Step: cp.Step,
+			Version: cataero.Version, Data: data,
+		})
+		if err != nil {
+			s.logf("serve: checkpoint %s: %v", sr.key, err)
+		}
+	}
+	if lc, err := lg.GetCheckpoint(sr.key); err == nil && lc != nil {
+		if cp, err := cataero.DecodeCheckpoint(lc.Data); err == nil {
+			p.Restore = cp
+			s.logf("serve: resuming %s from checkpoint at step %d", sr.key, lc.Step)
+		}
+	}
+	return p
 }
 
 // unkey removes a finished run from the in-flight coalescing index.
@@ -630,6 +816,9 @@ func orQueued(raw json.RawMessage) json.RawMessage {
 // Session.SubmitAll: every case is attempted, hits come back inline, and
 // per-case failures never abort the batch. ?wait=1 blocks for all results.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	lane, err := parsePriority(r.Header.Get("X-Priority"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -734,6 +923,9 @@ func (s *Server) handleLedgerGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := strings.ToLower(r.PathValue("key"))
+	if s.notModified(w, r, key) {
+		return
+	}
 	e, err := s.cfg.Ledger.Get(key)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -743,5 +935,7 @@ func (s *Server) handleLedgerGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no entry for %s", key)
 		return
 	}
+	s.setEtag(key, e.Checksum)
+	w.Header().Set("ETag", `"`+e.Checksum+`"`)
 	writeJSON(w, http.StatusOK, e)
 }

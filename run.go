@@ -60,8 +60,15 @@ type Snapshot struct {
 	Step     int    // completed iterations within the phase
 	MaxSteps int    // the phase's iteration budget (0 when unknown)
 	Residual float64
-	Elapsed  time.Duration // since submission; frozen at completion
-	Err      error         // terminal error; non-nil only when State == RunDone
+	// Fallbacks counts implicit-integrator divergence recoveries (line
+	// solves that fell back to an explicit update); Refits counts mid-march
+	// shock refits; Restarts counts checkpoint resumes this solve chain has
+	// been through. All are 0 for solver classes without the machinery.
+	Fallbacks int
+	Refits    int
+	Restarts  int
+	Elapsed   time.Duration // since submission; frozen at completion
+	Err       error         // terminal error; non-nil only when State == RunDone
 
 	history []HistoryPoint
 }
@@ -79,6 +86,9 @@ type snapshotJSON struct {
 	Step      int            `json:"step"`
 	MaxSteps  int            `json:"max_steps,omitempty"`
 	Residual  float64        `json:"residual,omitempty"`
+	Fallbacks int            `json:"fallbacks,omitempty"`
+	Refits    int            `json:"refits,omitempty"`
+	Restarts  int            `json:"restarts,omitempty"`
 	ElapsedMS float64        `json:"elapsed_ms"`
 	Error     string         `json:"error,omitempty"`
 	History   []HistoryPoint `json:"history,omitempty"`
@@ -99,6 +109,9 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 		Step:      s.Step,
 		MaxSteps:  s.MaxSteps,
 		Residual:  s.Residual,
+		Fallbacks: s.Fallbacks,
+		Refits:    s.Refits,
+		Restarts:  s.Restarts,
 		ElapsedMS: float64(s.Elapsed) / float64(time.Millisecond),
 		History:   s.history,
 	}
@@ -225,6 +238,9 @@ func (h *runHandle) observe(p core.Progress) {
 		h.snap.MaxSteps = p.MaxSteps
 	}
 	h.snap.Residual = p.Residual
+	h.snap.Fallbacks = p.Fallbacks
+	h.snap.Refits = p.Refits
+	h.snap.Restarts = p.Restarts
 	if p.Residual > 0 {
 		// Retain the sample in the history ring (classes without a
 		// residual never report one, so their history stays empty). A phase

@@ -34,6 +34,7 @@ type Session struct {
 	gridSeq   bool
 	levels    int
 	cycle     string
+	ckptEvery int
 	// Solve admission (see pool.go): at most `workers` submitted runs
 	// execute concurrently; the rest wait FIFO in admitQueue.
 	admitMu    sync.Mutex
@@ -161,6 +162,20 @@ func WithFreezeLimiter(threshold float64) Option {
 	}
 }
 
+// WithCheckpoint sets the default checkpoint cadence stamped onto problems
+// that leave CheckpointEvery at zero: finite-volume solves emit a resumable
+// solver-state checkpoint every `every` steps through the problem's
+// CheckpointSink (services install the sink per run — typically a ledger
+// write). Non-positive cadences are ignored. Checkpointing never changes a
+// case's result or its ledger key.
+func WithCheckpoint(every int) Option {
+	return func(s *Session) {
+		if every > 0 {
+			s.ckptEvery = every
+		}
+	}
+}
+
 // NewSession builds a session from functional options. The zero
 // configuration is useful as-is: solver-default grids, GOMAXPROCS batch
 // workers, chemistry taken from each problem.
@@ -205,6 +220,9 @@ func (s *Session) apply(p Problem) Problem {
 	}
 	if p.Cycle == "" && s.cycle != "" {
 		p.Cycle = s.cycle
+	}
+	if p.CheckpointEvery == 0 && s.ckptEvery != 0 {
+		p.CheckpointEvery = s.ckptEvery
 	}
 	// Grid sequencing is tri-state: the session default fills only an unset
 	// toggle, so a case can force sequencing off on a session that enables
